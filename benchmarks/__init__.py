@@ -1,0 +1,1 @@
+"""Benchmark suite reproducing every table and figure (see conftest)."""

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure from the paper
+at a reduced scale, prints the paper-style rows (run pytest with ``-s``
+to see them), asserts the paper's *shape* (who wins, rough factors,
+crossovers), and times the experiment via pytest-benchmark.
+
+Because ``--benchmark-only`` deselects plain tests, every
+``test_*_benchmark`` also replays its module's shape checks through
+:func:`run_shape_checks`, so a benchmark-only run still validates the
+paper's shape.
+"""
+
+import inspect
+
+
+def run_shape_checks(cls, result) -> None:
+    """Invoke every ``test_*(self, result)`` method of a shape class."""
+    instance = cls()
+    for name in sorted(dir(instance)):
+        if not name.startswith("test_"):
+            continue
+        method = getattr(instance, name)
+        parameters = list(inspect.signature(method).parameters)
+        if parameters == ["result"]:
+            method(result)

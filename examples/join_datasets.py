@@ -1,0 +1,79 @@
+"""Joining two CIF datasets with a repartition join.
+
+The paper leaves join algorithms to complementary work (Section 1);
+this library ships the standard Hadoop repartition join so multi-
+dataset analytics work out of the box.  Both sides benefit from CIF
+projection push-down independently — each mapper reads only the columns
+its side contributes.
+
+Scenario: a crawl dataset (pages) and a separately-computed link-rank
+dataset, joined to find the highest-ranked pages per content type.
+
+Run:  python examples/join_datasets.py
+"""
+
+import random
+
+from repro.core import ColumnSpec, write_dataset
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.query import join
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from repro.workloads.crawl import crawl_records, crawl_schema
+
+
+def rank_schema():
+    return Schema.record(
+        "Rank", [("page", Schema.string()), ("rank", Schema.double())]
+    )
+
+
+def main() -> None:
+    fs = FileSystem(ClusterConfig(num_nodes=8, block_size=1 << 20))
+    fs.use_column_placement()
+
+    pages = list(crawl_records(500, selectivity=0.2, content_bytes=1024))
+    write_dataset(fs, "/crawl", crawl_schema(), pages,
+                  specs={"metadata": ColumnSpec("dcsl")},
+                  split_bytes=256 * 1024)
+
+    # A separate pipeline computed ranks for ~60% of the pages.
+    rng = random.Random(5)
+    ranks = [
+        Record(rank_schema(), {"page": r.get("url"), "rank": rng.random()})
+        for r in pages if rng.random() < 0.6
+    ]
+    write_dataset(fs, "/ranks", rank_schema(), ranks, split_bytes=256 * 1024)
+    print(f"pages: {len(pages)} records, ranks: {len(ranks)} records\n")
+
+    result = join(
+        fs, "/crawl", "/ranks",
+        on="url", right_on="page",
+        left_columns=["url", "metadata"],   # content column never read
+        right_columns=["rank"],
+        how="inner",
+    )
+    print(f"inner join matched {len(result)} pages "
+          f"(read {result.bytes_read:,} bytes — the multi-KB content "
+          "column stayed on disk)\n")
+
+    best = {}
+    for row in result:
+        ctype = row["left.metadata"]["content-type"]
+        if ctype not in best or row["right.rank"] > best[ctype]["right.rank"]:
+            best[ctype] = row
+    print("highest-ranked page per content type:")
+    for ctype, row in sorted(best.items()):
+        print(f"  {ctype:30s} rank={row['right.rank']:.3f}  {row['key']}")
+
+    # Left join keeps unranked pages too.
+    left = join(
+        fs, "/crawl", "/ranks", on="url", right_on="page",
+        left_columns=["url"], right_columns=["rank"], how="left",
+    )
+    unranked = sum(1 for row in left if "right.rank" not in row)
+    print(f"\nleft join: {len(left)} rows, {unranked} pages without a rank")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — Column-Oriented Storage Techniques for MapReduce, reproduced.
+
+A from-scratch Python reproduction of Floratou, Patel, Shekita & Tata,
+*Column-Oriented Storage Techniques for MapReduce* (PVLDB 4(7), 2011):
+the CIF/COF column-oriented storage format for Hadoop, the
+ColumnPlacementPolicy (CPP) for replica co-location, lazy record
+construction over skip-list column files, and dictionary-compressed skip
+lists — together with every substrate they need (an HDFS simulator, a
+MapReduce engine, an Avro-like serialization framework, and the
+TXT/SequenceFile/RCFile baselines) and a benchmark harness regenerating
+every table and figure in the paper's evaluation.
+
+See ``examples/quickstart.py`` for a guided tour of the public API.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,101 @@
+"""Section 4.3 ablation: the cost of adding a column, CIF vs RCFile.
+
+The paper argues this qualitatively: with CIF, adding a derived column
+drops one new file into each split-directory; with RCFile, the whole
+dataset must be read and every block rewritten.  This ablation measures
+both — the I/O each approach performs — on the same dataset.
+
+Shape target: CIF's cost is proportional to the *new column's* size;
+RCFile's is proportional to the *whole dataset* (read + rewrite), i.e.
+orders of magnitude more for wide records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import harness
+from repro.core import add_column, write_dataset
+from repro.formats.rcfile import add_column_rewrite, write_rcfile
+from repro.serde.schema import Schema
+from repro.sim.metrics import Metrics
+from repro.workloads.micro import micro_records, micro_schema
+
+
+@dataclass
+class AddColumnResult:
+    records: int
+    cif_bytes: int
+    cif_time: float
+    rcfile_bytes: int
+    rcfile_time: float
+
+    @property
+    def io_ratio(self) -> float:
+        return self.rcfile_bytes / self.cif_bytes
+
+
+def run(records: int = 10000) -> AddColumnResult:
+    schema = micro_schema()
+    data = list(micro_records(records))
+    ranks = [float(i % 97) for i in range(records)]
+
+    fs = harness.single_node_fs()
+    write_dataset(
+        fs, "/ac/cif", schema, data, split_bytes=harness.MICRO_SPLIT_BYTES
+    )
+    cif_metrics = Metrics()
+    add_column(
+        fs, "/ac/cif", "rank", Schema.double(), ranks, metrics=cif_metrics
+    )
+
+    fs2 = harness.single_node_fs()
+    write_rcfile(
+        fs2, "/ac/rc", schema, data, row_group_bytes=harness.MICRO_ROW_GROUP
+    )
+    rc_metrics = Metrics()
+    add_column_rewrite(
+        fs2, "/ac/rc", "/ac/rc2", "rank", Schema.double(), ranks,
+        row_group_bytes=harness.MICRO_ROW_GROUP, metrics=rc_metrics,
+    )
+
+    return AddColumnResult(
+        records=records,
+        cif_bytes=cif_metrics.total_bytes_read + cif_metrics.disk_bytes,
+        cif_time=cif_metrics.task_time,
+        rcfile_bytes=rc_metrics.total_bytes_read + rc_metrics.disk_bytes,
+        rcfile_time=rc_metrics.task_time,
+    )
+
+
+def format_table(result: AddColumnResult) -> str:
+    rows = [
+        harness.Row(
+            "CIF add_column",
+            {
+                "I/O bytes": result.cif_bytes,
+                "Time (s)": round(result.cif_time, 4),
+            },
+        ),
+        harness.Row(
+            "RCFile rewrite",
+            {
+                "I/O bytes": result.rcfile_bytes,
+                "Time (s)": round(result.rcfile_time, 4),
+            },
+        ),
+    ]
+    table = harness.format_table(
+        f"Section 4.3 - adding a derived column ({result.records} records)",
+        ["I/O bytes", "Time (s)"],
+        rows,
+    )
+    return table + f"\nRCFile does {result.io_ratio:.0f}x the I/O of CIF"
+
+
+def main() -> None:
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Figure 10 / Appendix B.4: lazy materialization benefit vs selectivity.
+
+The job aggregates the value under a given key of the map-typed column
+for every record whose string column matches a pattern, at predicate
+selectivities from 0% to 100%.  ``CIF`` uses eager records over plain
+column files; ``CIF-SL`` uses lazy records over skip-list files.
+
+Paper shape targets:
+- at low selectivity CIF-SL is clearly faster (unreferenced map values
+  are neither read nor deserialized),
+- as selectivity approaches 100% CIF-SL converges to CIF,
+- CIF-SL's overhead at 100% selectivity is minor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench import harness
+from repro.core import ColumnInputFormat, ColumnSpec, write_dataset
+from repro.serde.record import Record
+from repro.workloads.micro import micro_records, micro_schema
+
+PATTERN = "=HIT="
+MAP_KEY = "kk"
+SELECTIVITIES = (0.0, 0.05, 0.2, 0.5, 0.8, 1.0)
+
+
+def _dataset(records: int, selectivity: float, seed: int = 10):
+    """Microbenchmark records with ``selectivity`` of str0 matching."""
+    rng = random.Random(seed)
+    out: List[Record] = []
+    for record in micro_records(records, seed=seed):
+        if rng.random() < selectivity:
+            record.put("str0", record.get("str0")[:10] + PATTERN)
+        attrs = dict(record.get("attrs"))
+        attrs[MAP_KEY] = rng.randint(0, 100)  # the aggregated key
+        record.put("attrs", attrs)
+        out.append(record)
+    return out
+
+
+def _aggregate(fs, dataset: str, lazy: bool) -> "tuple[float, int, int]":
+    fmt = ColumnInputFormat(dataset, columns=["str0", "attrs"], lazy=lazy)
+    ctx = harness.make_context(fs)
+    total = 0
+    matches = 0
+    for split in fmt.get_splits(fs, fs.cluster):
+        for _, record in fmt.open_reader(fs, split, ctx):
+            text = record.get("str0")
+            ctx.charge_predicate(text)
+            if PATTERN in text:
+                total += record.get("attrs")[MAP_KEY]
+                matches += 1
+    return ctx.metrics.task_time, total, matches
+
+
+@dataclass
+class Fig10Result:
+    records: int
+    #: times[layout][selectivity] -> simulated seconds
+    times: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    #: sums agree between layouts (correctness cross-check)
+    sums: Dict[float, int] = field(default_factory=dict)
+
+
+def run(records: int = 10000) -> Fig10Result:
+    result = Fig10Result(records=records)
+    for selectivity in SELECTIVITIES:
+        fs = harness.single_node_fs()
+        data = _dataset(records, selectivity)
+        schema = micro_schema()
+        write_dataset(
+            fs, "/f10/cif", schema, data,
+            split_bytes=harness.MICRO_SPLIT_BYTES,
+        )
+        write_dataset(
+            fs, "/f10/sl", schema, data,
+            default_spec=ColumnSpec("skiplist"),
+            split_bytes=harness.MICRO_SPLIT_BYTES,
+        )
+        t_cif, sum_cif, _ = _aggregate(fs, "/f10/cif", lazy=False)
+        t_sl, sum_sl, _ = _aggregate(fs, "/f10/sl", lazy=True)
+        if sum_cif != sum_sl:
+            raise AssertionError(
+                f"CIF and CIF-SL disagree at selectivity {selectivity}"
+            )
+        result.times.setdefault("CIF", {})[selectivity] = t_cif
+        result.times.setdefault("CIF-SL", {})[selectivity] = t_sl
+        result.sums[selectivity] = sum_cif
+    return result
+
+
+def format_table(result: Fig10Result) -> str:
+    headers = [f"{s:.0%}" for s in SELECTIVITIES]
+    rows = [
+        harness.Row(
+            layout,
+            {h: round(times[s], 4) for h, s in zip(headers, SELECTIVITIES)},
+        )
+        for layout, times in result.times.items()
+    ]
+    return harness.format_table(
+        f"Figure 10 - aggregation time vs selectivity "
+        f"(simulated seconds, {result.records} records)",
+        headers,
+        rows,
+    )
+
+
+def format_chart(result: Fig10Result) -> str:
+    from repro.bench.ascii_plot import line_chart
+
+    return line_chart(
+        result.times,
+        title="Figure 10 - lazy materialization benefit vs selectivity",
+        x_label="selectivity",
+        y_label="seconds (simulated)",
+        height=12,
+    )
+
+
+def main() -> None:
+    result = run()
+    print(format_table(result))
+    print()
+    print(format_chart(result))
+
+
+if __name__ == "__main__":
+    main()

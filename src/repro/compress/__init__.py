@@ -1,0 +1,21 @@
+"""Compression codecs and the dictionary encoder (Section 5.3).
+
+Two block codecs are provided behind one interface:
+
+- ``zlib`` — the heavyweight scheme: best ratio, expensive inflate,
+- ``lzo`` — the scheme Hadoop deployments actually pick (Section 3.3):
+  worse ratio, much cheaper inflate.  The real LZO library is GPL and
+  unavailable here, so its *bytes* are produced by zlib at its fastest
+  setting while its *time* is charged at LZO-like rates through the cost
+  model — the experiments only depend on LZO's relative position
+  (ratio worse than ZLIB, decompression much faster).
+
+:class:`~repro.compress.dictionary.KeyDictionary` implements the
+lightweight per-block key dictionary used by dictionary compressed skip
+lists (DCSL).
+"""
+
+from repro.compress.codecs import Codec, LzoCodec, ZlibCodec, get_codec
+from repro.compress.dictionary import KeyDictionary
+
+__all__ = ["Codec", "KeyDictionary", "LzoCodec", "ZlibCodec", "get_codec"]

@@ -1,0 +1,71 @@
+"""Per-block key dictionaries for map-typed columns (Section 5.3).
+
+Map keys in real datasets (HTTP header names, annotation labels) are
+strings drawn from a small universe, which makes them ideal for
+dictionary compression: each block of map values stores its key universe
+once, and every map entry then references its key by a small integer id.
+Decoding an entry is a table lookup — far cheaper than inflating an
+LZO/ZLIB block — and individual values remain addressable without
+decompressing anything around them.  That combination is what makes
+DCSL the fastest format in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.util.buffers import ByteReader, ByteWriter
+
+
+class KeyDictionary:
+    """A bidirectional string<->id mapping with a compact wire form."""
+
+    __slots__ = ("_by_key", "_by_id")
+
+    def __init__(self, keys: Iterable[str] = ()) -> None:
+        self._by_key = {}
+        self._by_id: List[str] = []
+        for key in keys:
+            self.add(key)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def add(self, key: str) -> int:
+        """Intern ``key``; returns its id (existing or newly assigned)."""
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        new_id = len(self._by_id)
+        self._by_key[key] = new_id
+        self._by_id.append(key)
+        return new_id
+
+    def id_of(self, key: str) -> int:
+        return self._by_key[key]
+
+    def key_of(self, key_id: int) -> str:
+        return self._by_id[key_id]
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self._by_id)
+
+    # -- wire format ------------------------------------------------------
+
+    def write(self, out: ByteWriter) -> None:
+        """Serialize as: varint count, then length-prefixed UTF-8 keys."""
+        out.write_varint(len(self._by_id))
+        for key in self._by_id:
+            out.write_string(key)
+
+    @classmethod
+    def read(cls, reader: ByteReader) -> "KeyDictionary":
+        count = reader.read_varint()
+        dictionary = cls()
+        for _ in range(count):
+            dictionary.add(reader.read_string())
+        return dictionary

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: CIF/COF column-oriented storage.
+
+- :mod:`repro.core.columnio` — the four column-file layouts: plain,
+  skip-list (Section 5.2), compressed blocks (Section 5.3), and
+  dictionary compressed skip lists (DCSL),
+- :mod:`repro.core.cof` — ``ColumnOutputFormat``: the loader that breaks
+  a dataset into split-directories with one file per column plus a
+  schema file (Figure 4), and the cheap ``add_column`` operation
+  (Section 4.3),
+- :mod:`repro.core.cif` — ``ColumnInputFormat``: projection push-down
+  via ``set_columns``, split generation over split-directories, and
+  eager/lazy record readers,
+- :mod:`repro.core.lazy` — ``LazyRecord`` with the split-level
+  ``curPos`` / per-column ``lastPos`` scheme of Section 5.1.
+
+Replica co-location (CPP) lives in :mod:`repro.hdfs.placement`; install
+it with ``fs.use_column_placement()`` before loading.
+"""
+
+from repro.core.cif import CIFSplit, ColumnInputFormat
+from repro.core.cof import (
+    ColumnOutputFormat,
+    add_column,
+    declare_column,
+    write_dataset,
+)
+from repro.core.columnio import ColumnSpec
+from repro.core.lazy import LazyRecord
+from repro.core.loader import ParallelLoadReport, parallel_load
+from repro.core.partitions import PartitionedDataset
+
+__all__ = [
+    "CIFSplit",
+    "ColumnInputFormat",
+    "ColumnOutputFormat",
+    "ColumnSpec",
+    "LazyRecord",
+    "ParallelLoadReport",
+    "PartitionedDataset",
+    "add_column",
+    "declare_column",
+    "parallel_load",
+    "write_dataset",
+]

@@ -1,0 +1,98 @@
+"""Capacity planning for CIF datasets (Section 4.3's parallelism math).
+
+The paper's discussion: a MapReduce job reaches maximum parallelism
+when it has at least as many splits as the cluster has map slots
+(``m``).  RCFile splits at row-group granularity (``r`` row groups per
+block), so it parallelizes fully once the dataset exceeds ``m / r``
+blocks.  CIF splits at split-directory granularity; with ``c`` column
+files of one block each per split-directory, full parallelism needs
+``m x c`` blocks — the paper's example: 200 map slots, 64 MB blocks and
+10 columns need a 128 GB dataset.
+
+These helpers let a user check where a dataset sits before choosing
+split-directory sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelismReport:
+    """How much of the cluster a dataset can keep busy."""
+
+    splits: int
+    map_slots: int
+
+    @property
+    def fully_parallel(self) -> bool:
+        return self.splits >= self.map_slots
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of map slots a single wave can occupy."""
+        if self.map_slots <= 0:
+            return 0.0
+        return min(1.0, self.splits / self.map_slots)
+
+
+def cif_splits(dataset_bytes: int, split_dir_bytes: int) -> int:
+    """Number of CIF splits (= split-directories) for a dataset."""
+    if split_dir_bytes <= 0:
+        raise ValueError("split_dir_bytes must be positive")
+    return max(1, math.ceil(dataset_bytes / split_dir_bytes)) if dataset_bytes else 0
+
+
+def rcfile_splits(dataset_bytes: int, block_bytes: int) -> int:
+    """Number of RCFile splits (= HDFS blocks; row groups subdivide
+    further for scheduling but a block is the locality unit)."""
+    if block_bytes <= 0:
+        raise ValueError("block_bytes must be positive")
+    return math.ceil(dataset_bytes / block_bytes) if dataset_bytes else 0
+
+
+def cif_parallelism(
+    dataset_bytes: int, split_dir_bytes: int, map_slots: int
+) -> ParallelismReport:
+    return ParallelismReport(cif_splits(dataset_bytes, split_dir_bytes), map_slots)
+
+
+def min_dataset_for_full_parallelism(
+    map_slots: int, num_columns: int, block_bytes: int
+) -> int:
+    """Section 4.3's bound: ``m x c`` blocks.
+
+    "Assuming a typical cluster with 200 map slots and 64M blocks, a
+    dataset with 10 columns would need to be at least 128GB in size
+    before full parallelism is reached."
+    """
+    if map_slots < 1 or num_columns < 1 or block_bytes < 1:
+        raise ValueError("all arguments must be positive")
+    return map_slots * num_columns * block_bytes
+
+
+def rcfile_min_dataset_for_full_parallelism(
+    map_slots: int, row_groups_per_block: int, block_bytes: int
+) -> int:
+    """The paper's RCFile bound: ``m / r`` blocks."""
+    if map_slots < 1 or row_groups_per_block < 1 or block_bytes < 1:
+        raise ValueError("all arguments must be positive")
+    return math.ceil(map_slots / row_groups_per_block) * block_bytes
+
+
+def recommended_split_dir_bytes(
+    dataset_bytes: int, map_slots: int, block_bytes: int, waves: int = 3
+) -> int:
+    """A split-directory size giving ~``waves`` scheduling waves.
+
+    Bounded above by one HDFS block (the paper's "typically 64 MB") and
+    below by a floor that keeps per-directory overhead amortized.
+    """
+    if dataset_bytes <= 0:
+        return block_bytes
+    target_splits = max(1, map_slots * waves)
+    size = dataset_bytes // target_splits
+    floor = block_bytes // 64
+    return max(floor, min(block_bytes, size or floor))

@@ -1,0 +1,28 @@
+"""Baseline storage formats: TXT, SequenceFile, and RCFile.
+
+These are the formats the paper compares CIF against (Section 6):
+
+- :mod:`repro.formats.text` — newline-delimited text (the naive format
+  whose use in earlier Hadoop evaluations was criticized in [18]),
+- :mod:`repro.formats.sequence_file` — Hadoop's standard binary
+  key/value container, in uncompressed, record-compressed and
+  block-compressed variants,
+- :mod:`repro.formats.rcfile` — the PAX-style row-group format of He et
+  al. [20], with per-column chunks inside each row group and optional
+  ZLIB compression.
+
+The paper's own format (CIF/COF) lives in :mod:`repro.core`.
+"""
+
+from repro.formats.rcfile import RCFileInputFormat, write_rcfile
+from repro.formats.sequence_file import SequenceFileInputFormat, write_sequence_file
+from repro.formats.text import TextInputFormat, write_text
+
+__all__ = [
+    "RCFileInputFormat",
+    "SequenceFileInputFormat",
+    "TextInputFormat",
+    "write_rcfile",
+    "write_sequence_file",
+    "write_text",
+]

@@ -1,0 +1,344 @@
+"""RCFile: the PAX-style row-group format the paper compares against.
+
+Following He et al. [20] (Section 4.1 of the paper): the file is a
+sequence of *row groups*, each packed into HDFS blocks.  A row group is
+
+  ``[sync marker][metadata region][data region]``
+
+where the metadata region records the number of rows and the byte
+length of each column chunk, and the data region lays the chunks out
+column by column (each chunk optionally compressed — RCFile-comp).
+
+The reader pushes projections down: it parses each row group's
+metadata, seeks over unwanted column chunks, and decompresses/decodes
+only the projected ones (lazy decompression).  Because all columns
+share one file, those seeks are frequently smaller than the HDFS
+readahead window, which is exactly why the paper finds RCFile's I/O
+elimination poor at small row-group sizes (Figure 9, and the 20x extra
+bytes in Section 6.2).
+
+RCFile also pays two CPU overheads the paper calls out: per-row-group
+metadata interpretation and an inefficient per-field serialization
+(modelled by :meth:`CpuCostModel.charge_rcfile_fields`).
+
+Adding a column to an RCFile dataset requires rewriting every row group
+(:func:`add_column_rewrite`) — the flexibility disadvantage against CIF
+discussed in Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.compress.codecs import get_codec
+from repro.formats.common import (
+    SYNC_SIZE,
+    FileSplit,
+    block_splits,
+    make_sync_marker,
+    scan_to_sync,
+)
+from repro.mapreduce.types import InputFormat, RecordReader, TaskContext
+from repro.serde.binary import BinaryDecoder, BinaryEncoder
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from repro.sim.metrics import Metrics
+from repro.util.buffers import ByteReader, ByteWriter
+
+MAGIC = b"RCF1"
+DEFAULT_ROW_GROUP_BYTES = 4 * 1024 * 1024  # the recommended 4 MB [20]
+
+
+def write_rcfile(
+    fs,
+    path: str,
+    schema: Schema,
+    records: Iterable,
+    row_group_bytes: int = DEFAULT_ROW_GROUP_BYTES,
+    codec: Optional[str] = None,
+    metrics: Optional[Metrics] = None,
+) -> None:
+    """Write ``records`` as an RCFile (``codec`` enables RCFile-comp)."""
+    sync = make_sync_marker(path)
+    out = ByteWriter()
+    out.write_bytes(MAGIC)
+    out.write_string(schema.to_json())
+    out.write_string(codec or "")
+    out.write_bytes(sync)
+
+    columns = [f.schema for f in schema.fields]
+    chunks: List[ByteWriter] = [ByteWriter() for _ in columns]
+    value_lengths: List[List[int]] = [[] for _ in columns]
+    rows = 0
+    first_group = True
+
+    def flush() -> None:
+        nonlocal chunks, value_lengths, rows, first_group
+        if rows == 0:
+            return
+        payloads = []
+        for chunk in chunks:
+            data = chunk.getvalue()
+            if codec:
+                data = get_codec(codec).compress(data)
+            payloads.append(data)
+        # The header's trailing sync doubles as the first group's marker;
+        # later groups each write their own.
+        if not first_group:
+            out.write_bytes(sync)
+        first_group = False
+        # Metadata region: row count, then per column its (compressed)
+        # chunk length plus every row's value length — RCFile's key
+        # buffer, which readers must fetch in full for every row group.
+        meta = ByteWriter()
+        meta.write_varint(rows)
+        meta.write_varint(len(payloads))
+        for payload, lengths in zip(payloads, value_lengths):
+            meta.write_varint(len(payload))
+            for length in lengths:
+                meta.write_varint(length)
+        out.write_len_prefixed(meta.getvalue())
+        for payload in payloads:
+            out.write_bytes(payload)
+        chunks = [ByteWriter() for _ in columns]
+        value_lengths = [[] for _ in columns]
+        rows = 0
+
+    for record in records:
+        values = (
+            record.values_in_order()
+            if isinstance(record, Record)
+            else [record[f.name] for f in schema.fields]
+        )
+        for i, (chunk, column_schema, value) in enumerate(
+            zip(chunks, columns, values)
+        ):
+            before = len(chunk)
+            BinaryEncoder(chunk).write_datum(column_schema, value)
+            value_lengths[i].append(len(chunk) - before)
+        rows += 1
+        if sum(len(c) for c in chunks) >= row_group_bytes:
+            flush()
+    flush()
+
+    with fs.create(path, metrics=metrics) as stream:
+        stream.write(out.getvalue())
+
+
+class _Header:
+    def __init__(self, reader: ByteReader) -> None:
+        magic = reader.read_bytes(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"not an RCFile (magic {magic!r})")
+        self.schema = Schema.parse(reader.read_string())
+        self.codec = reader.read_string() or None
+        self.sync = reader.read_bytes(SYNC_SIZE)
+        self.header_end = reader.pos
+
+
+def read_header(fs, path: str) -> _Header:
+    length = fs.file_length(path)
+    data = fs.open(path).read(min(4096, length))
+    return _Header(ByteReader(data))
+
+
+class RCFileRecordReader(RecordReader):
+    """Row-group reader with projection push-down and lazy decompression."""
+
+    def __init__(
+        self,
+        fs,
+        split: FileSplit,
+        header: _Header,
+        columns: Optional[Sequence[str]],
+        ctx: TaskContext,
+    ) -> None:
+        super().__init__(ctx)
+        self.header = header
+        self.split = split
+        schema = header.schema
+        if columns is None:
+            columns = schema.field_names
+        self._wanted = [schema.field(name) for name in columns]
+        self._projected = schema.project(columns)
+        self._stream = fs.open(
+            split.path,
+            node=ctx.node,
+            metrics=ctx.metrics,
+            buffer_size=ctx.io_buffer_size,
+        )
+        # Every row group is preceded by a sync marker (including the
+        # first), so both the 0-offset and mid-file cases resynchronize
+        # the same way.
+        start = scan_to_sync(self._stream, header.sync, split.start, split.end)
+        self._next_group = start  # offset just past a sync marker
+        self._rows: List[Record] = []
+        self._row_index = 0
+
+    def read_next(self):
+        while self._row_index >= len(self._rows):
+            if not self._load_group():
+                return None
+        record = self._rows[self._row_index]
+        self._row_index += 1
+        return None, record
+
+    def _load_group(self) -> bool:
+        """Parse the next row group into ``self._rows``; False at split end."""
+        if self._next_group is None:
+            return False
+        ctx = self.ctx
+        stream = self._stream
+        stream.seek(self._next_group)
+        meta_raw = _read_len_prefixed(stream)
+        meta = ByteReader(meta_raw)
+        rows = meta.read_varint()
+        num_cols = meta.read_varint()
+        chunk_lens = []
+        for _ in range(num_cols):
+            chunk_lens.append(meta.read_varint())
+            for _ in range(rows):
+                meta.read_varint()  # per-row value length (key buffer)
+        if num_cols != len(self.header.schema.fields):
+            raise ValueError("row group column count mismatch")
+        # Interpreting the metadata block costs CPU for every length
+        # entry, for all columns, whether projected or not.
+        ctx.cost.charge_raw_scan(ctx.metrics, len(meta_raw))
+        ctx.cost.charge_rcfile_rowgroup(ctx.metrics, rows * num_cols)
+
+        wanted_indices = {f.index for f in self._wanted}
+        columns: Dict[int, List[object]] = {}
+        for index, chunk_len in enumerate(chunk_lens):
+            if index not in wanted_indices:
+                stream.seek(stream.tell() + chunk_len)
+                continue
+            data = stream.read(chunk_len)
+            ctx.cost.charge_raw_scan(ctx.metrics, len(data))
+            if self.header.codec:
+                ctx.cost.charge_block_inflate_setup(ctx.metrics)
+                data = get_codec(self.header.codec).decompress(
+                    data, ctx.cost, ctx.metrics
+                )
+            dec = BinaryDecoder(ByteReader(data), ctx.cost, ctx.metrics)
+            field_schema = self.header.schema.fields[index].schema
+            columns[index] = [dec.read_datum(field_schema) for _ in range(rows)]
+
+        # Materialize one writable per projected field per row — the
+        # "inefficient serialization in parts of RCFile" CPU overhead.
+        ctx.cost.charge_rcfile_fields(ctx.metrics, rows * len(self._wanted))
+        self._rows = []
+        for r in range(rows):
+            record = Record(self._projected)
+            for field in self._wanted:
+                record.put(field.name, columns[field.index][r])
+            self._rows.append(record)
+        self._row_index = 0
+
+        # Locate the following row group: it starts with a sync marker
+        # immediately after this group's data region.
+        group_end = stream.tell()
+        if group_end >= self._stream.length:
+            self._next_group = None
+        else:
+            marker_pos = group_end
+            if marker_pos >= self.split.end:
+                # The next group's sync is at/past our range: next split's.
+                self._next_group = None
+            else:
+                self._next_group = self._verify_sync(marker_pos)
+        return True
+
+    def _verify_sync(self, marker_pos: int) -> Optional[int]:
+        self._stream.seek(marker_pos)
+        marker = self._stream.read(SYNC_SIZE)
+        if marker != self.header.sync:
+            raise ValueError(f"missing sync marker at {marker_pos}")
+        return marker_pos + SYNC_SIZE
+
+
+def _read_len_prefixed(stream) -> bytes:
+    """Read a varint-length-prefixed region directly off a stream."""
+    prefix = b""
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            raise EOFError("truncated length prefix")
+        prefix += byte
+        if not byte[0] & 0x80:
+            break
+    from repro.util.varint import decode_varint
+
+    length, _ = decode_varint(prefix)
+    return stream.read(length)
+
+
+class RCFileInputFormat(InputFormat):
+    """Block-granular splits over an RCFile, with column projection."""
+
+    def __init__(self, path: str, columns: Optional[Sequence[str]] = None):
+        self.path = path
+        self.columns = list(columns) if columns is not None else None
+        self._header: Optional[_Header] = None
+
+    def set_columns(self, columns: Sequence[str]) -> None:
+        """Projection push-down (mirrors CIF's ``setColumns``)."""
+        self.columns = list(columns)
+
+    def _read_header(self, fs) -> _Header:
+        if self._header is None:
+            self._header = read_header(fs, self.path)
+        return self._header
+
+    def get_splits(self, fs, cluster) -> List[FileSplit]:
+        return block_splits(fs, self.path, "rcfile")
+
+    def open_reader(self, fs, split: FileSplit, ctx: TaskContext) -> RecordReader:
+        return RCFileRecordReader(
+            fs, split, self._read_header(fs), self.columns, ctx
+        )
+
+
+def add_column_rewrite(
+    fs,
+    src_path: str,
+    dst_path: str,
+    name: str,
+    column_schema: Schema,
+    values: Sequence,
+    row_group_bytes: int = DEFAULT_ROW_GROUP_BYTES,
+    metrics: Optional[Metrics] = None,
+) -> None:
+    """Add a column to an RCFile dataset — by rewriting all of it.
+
+    This is the expensive operation Section 4.3 contrasts with CIF's
+    cheap :func:`repro.core.cof.add_column`: every row group must be
+    read, widened, and written back.
+    """
+    header = read_header(fs, src_path)
+    ctx_metrics = metrics if metrics is not None else Metrics()
+    # Read the whole dataset back (charged as I/O against the metrics).
+    stream = fs.open(src_path, metrics=ctx_metrics)
+    stream.read_fully()
+    from repro.mapreduce.types import TaskContext as _Ctx
+    from repro.sim.cost import CpuCostModel
+
+    ctx = _Ctx(node=None, cost=CpuCostModel(), io_buffer_size=64 * 1024)
+    split = FileSplit(
+        src_path, 0, fs.file_length(src_path), fs.file_length(src_path), []
+    )
+    reader = RCFileRecordReader(fs, split, header, None, ctx)
+    widened_schema = header.schema.with_field(name, column_schema)
+    widened = []
+    for i, (_, record) in enumerate(reader):
+        row = record.to_dict()
+        row[name] = values[i]
+        widened.append(row)
+    write_rcfile(
+        fs,
+        dst_path,
+        widened_schema,
+        widened,
+        row_group_bytes=row_group_bytes,
+        codec=header.codec,
+        metrics=ctx_metrics,
+    )

@@ -1,0 +1,151 @@
+"""A co-location-preserving balancer (Section 4.3's future work).
+
+CPP load-balances at split-directory granularity: the *first* block of
+each directory lands via the default policy and everything else
+follows.  Over time (skewed loads, node failures, cluster growth) the
+byte distribution can drift.  HDFS's stock balancer would move
+individual blocks — destroying exactly the co-location CPP exists to
+provide.  This balancer moves *whole split-directory replica sets*: a
+move relocates one replica of every block of every file in a directory
+from its hottest node to a cold node, updating the policy's pinned set
+so future blocks follow.
+
+Non-split-directory files are balanced block-by-block, like stock HDFS.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdfs.filesystem import FileSystem
+from repro.hdfs.placement import ColumnPlacementPolicy, split_directory_of
+
+
+@dataclass
+class BalanceReport:
+    """What a rebalance pass did."""
+
+    moves: int
+    bytes_moved: int
+    imbalance_before: float
+    imbalance_after: float
+    moved_directories: List[str] = field(default_factory=list)
+
+
+def node_loads(fs: FileSystem) -> Dict[int, int]:
+    """Replica bytes hosted per node (failed nodes excluded)."""
+    loads = {
+        node: 0
+        for node in range(fs.cluster.num_nodes)
+        if node not in fs.failed_nodes
+    }
+    for blocks in fs.namenode.files_with_blocks().values():
+        for block in blocks:
+            for node in block.locations:
+                if node in loads:
+                    loads[node] += block.length
+    return loads
+
+
+def imbalance(loads: Dict[int, int]) -> float:
+    """Max node load divided by mean load (1.0 = perfectly even)."""
+    if not loads:
+        return 1.0
+    mean = sum(loads.values()) / len(loads)
+    if mean == 0:
+        return 1.0
+    return max(loads.values()) / mean
+
+
+class ColumnAwareBalancer:
+    """Rebalances replica bytes without breaking split-dir co-location."""
+
+    def __init__(self, fs: FileSystem, seed: int = 7) -> None:
+        self.fs = fs
+        self._rng = random.Random(seed)
+
+    # -- inventory --------------------------------------------------------
+
+    def _directory_replicas(self) -> Dict[str, Dict[int, int]]:
+        """split_dir -> {node: replica bytes hosted for that dir}."""
+        out: Dict[str, Dict[int, int]] = {}
+        for path, blocks in self.fs.namenode.files_with_blocks().items():
+            split_dir = split_directory_of(path)
+            if split_dir is None:
+                continue
+            per_node = out.setdefault(split_dir, {})
+            for block in blocks:
+                for node in block.locations:
+                    per_node[node] = per_node.get(node, 0) + block.length
+        return out
+
+    def _move_directory(self, split_dir: str, source: int, target: int) -> int:
+        """Relocate the dir's replicas from ``source`` to ``target``."""
+        moved = 0
+        prefix = split_dir + "/"
+        for path, blocks in self.fs.namenode.files_with_blocks().items():
+            if not (path == split_dir or path.startswith(prefix)):
+                continue
+            for block in blocks:
+                if source in block.locations and target not in block.locations:
+                    block.locations[block.locations.index(source)] = target
+                    moved += block.length
+        policy = self.fs.placement
+        if isinstance(policy, ColumnPlacementPolicy):
+            pinned = policy.pinned_nodes(split_dir)
+            if pinned is not None and source in pinned:
+                pinned[pinned.index(source)] = target
+                policy._pinned[split_dir] = pinned
+        return moved
+
+    # -- the pass ----------------------------------------------------------
+
+    def rebalance(
+        self,
+        target_imbalance: float = 1.15,
+        max_moves: int = 1000,
+    ) -> BalanceReport:
+        """Greedy passes: move a directory replica from the hottest node
+        to the coldest until balanced (or out of candidates/moves)."""
+        loads = node_loads(self.fs)
+        before = imbalance(loads)
+        moves = 0
+        bytes_moved = 0
+        moved_dirs: List[str] = []
+        while moves < max_moves and imbalance(loads) > target_imbalance:
+            hottest = max(loads, key=loads.get)
+            coldest = min(loads, key=loads.get)
+            candidate = self._pick_candidate(hottest, coldest, loads)
+            if candidate is None:
+                break
+            split_dir, size = candidate
+            bytes_moved += self._move_directory(split_dir, hottest, coldest)
+            loads[hottest] -= size
+            loads[coldest] += size
+            moved_dirs.append(split_dir)
+            moves += 1
+        return BalanceReport(
+            moves=moves,
+            bytes_moved=bytes_moved,
+            imbalance_before=before,
+            imbalance_after=imbalance(node_loads(self.fs)),
+            moved_directories=moved_dirs,
+        )
+
+    def _pick_candidate(
+        self, hottest: int, coldest: int, loads: Dict[int, int]
+    ) -> Optional[Tuple[str, int]]:
+        """A split-dir on the hottest node whose move helps, not flips."""
+        gap = loads[hottest] - loads[coldest]
+        best: Optional[Tuple[str, int]] = None
+        for split_dir, per_node in self._directory_replicas().items():
+            size = per_node.get(hottest, 0)
+            if size == 0 or coldest in per_node:
+                continue  # not here, or the target already has a replica
+            if size >= gap:
+                continue  # moving it would just swap the imbalance
+            if best is None or size > best[1]:
+                best = (split_dir, size)
+        return best

@@ -1,0 +1,63 @@
+"""Block payload storage.
+
+HDFS replicates each block onto several datanodes; the simulator keeps
+one copy of the bytes per block (replica *locations* are metadata on
+:class:`~repro.hdfs.namenode.BlockInfo`).  This keeps memory at the
+dataset's logical size while preserving every behaviour the experiments
+measure — which replica a reader is near only affects *timing*, never
+content.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+
+class BlockStore:
+    """Maps block id -> immutable payload bytes (with CRC32 checksums).
+
+    HDFS checksums every block; the simulator records a CRC32 at write
+    time so :meth:`verify` (and ``FileSystem.fsck``) can detect
+    corruption injected by tests or bugs.
+    """
+
+    def __init__(self) -> None:
+        self._payloads: Dict[int, bytes] = {}
+        self._checksums: Dict[int, int] = {}
+
+    def put(self, block_id: int, payload: bytes) -> None:
+        if block_id in self._payloads:
+            raise KeyError(f"block {block_id} already stored")
+        self._payloads[block_id] = bytes(payload)
+        self._checksums[block_id] = zlib.crc32(payload)
+
+    def get(self, block_id: int) -> bytes:
+        return self._payloads[block_id]
+
+    def verify(self, block_id: int) -> bool:
+        """True when the stored payload still matches its checksum."""
+        return zlib.crc32(self._payloads[block_id]) == self._checksums[block_id]
+
+    def corrupt(self, block_id: int, offset: int = 0) -> None:
+        """Flip a byte (testing hook for corruption scenarios)."""
+        payload = bytearray(self._payloads[block_id])
+        if not payload:
+            return
+        payload[offset % len(payload)] ^= 0xFF
+        self._payloads[block_id] = bytes(payload)
+
+    def remove(self, block_id: int) -> None:
+        self._payloads.pop(block_id, None)
+        self._checksums.pop(block_id, None)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._payloads
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical bytes stored (one copy per block)."""
+        return sum(len(p) for p in self._payloads.values())

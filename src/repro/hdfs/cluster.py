@@ -1,0 +1,53 @@
+"""Cluster configuration shared by HDFS and the MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import calibration
+from repro.sim.models import DiskModel, NetworkModel
+
+
+@dataclass
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    Defaults mirror the paper's testbed (Section 6.1): 40 worker nodes,
+    6 map slots and 1 reduce slot per node, 3-way replication, 64 MB
+    blocks, 128 KB readahead.
+    """
+
+    num_nodes: int = 40
+    map_slots_per_node: int = 6
+    reduce_slots_per_node: int = 1
+    replication: int = 3
+    block_size: int = calibration.BLOCK_BYTES
+    io_buffer_size: int = calibration.IO_BUFFER_BYTES
+    seed: int = 20110401
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    #: Fixed per-job wall-clock overhead added to total time (job setup,
+    #: scheduling, shuffle/sort floor).  0 by default; full-cluster
+    #: experiments set calibration.JOB_OVERHEAD_SECONDS.
+    job_overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if not 1 <= self.replication:
+            raise ValueError("replication must be >= 1")
+        if self.block_size < 1 or self.io_buffer_size < 1:
+            raise ValueError("block and buffer sizes must be positive")
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.num_nodes * self.reduce_slots_per_node
+
+    @property
+    def effective_replication(self) -> int:
+        """Replication actually achievable (bounded by cluster size)."""
+        return min(self.replication, self.num_nodes)

@@ -1,0 +1,243 @@
+"""The HDFS facade: what formats and the MapReduce engine program against.
+
+Equivalent to Hadoop's ``FileSystem`` API surface, scoped to what the
+paper's formats need: create/open/list/delete, block locations for the
+scheduler, a pluggable placement policy, and (as an extension hook) node
+failure with policy-driven re-replication.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.hdfs.blockstore import BlockStore
+from repro.hdfs.cluster import ClusterConfig
+from repro.hdfs.namenode import FileStatus, HdfsError, NameNode, normalize
+from repro.hdfs.placement import (
+    BlockPlacementPolicy,
+    ColumnPlacementPolicy,
+    DefaultPlacementPolicy,
+)
+from repro.hdfs.streams import HdfsInputStream, HdfsOutputStream
+from repro.sim.metrics import Metrics
+
+
+class FileSystem:
+    """A simulated HDFS instance bound to one cluster configuration."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterConfig] = None,
+        placement: Optional[BlockPlacementPolicy] = None,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else ClusterConfig()
+        self.placement = (
+            placement if placement is not None else DefaultPlacementPolicy()
+        )
+        self.namenode = NameNode()
+        self.blockstore = BlockStore()
+        self._rng = random.Random(self.cluster.seed)
+        self._failed_nodes = set()
+
+    # -- configuration ---------------------------------------------------
+
+    def set_placement_policy(self, placement: BlockPlacementPolicy) -> None:
+        """Swap the block placement policy (the
+        ``dfs.block.replicator.classname`` hook of Section 4.2).
+
+        Affects blocks placed from now on; existing blocks stay put,
+        exactly as in HDFS.
+        """
+        self.placement = placement
+
+    def use_column_placement(self) -> ColumnPlacementPolicy:
+        """Install CPP and return it (convenience for experiments)."""
+        policy = ColumnPlacementPolicy()
+        self.set_placement_policy(policy)
+        return policy
+
+    # -- namespace passthroughs -------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def is_dir(self, path: str) -> bool:
+        return self.namenode.is_dir(path)
+
+    def mkdirs(self, path: str) -> None:
+        self.namenode.mkdirs(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self.namenode.listdir(path)
+
+    def status(self, path: str) -> FileStatus:
+        return self.namenode.status(path)
+
+    def file_length(self, path: str) -> int:
+        return self.namenode.file_length(path)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        freed = self.namenode.delete(path, recursive=recursive)
+        for block in freed:
+            self.blockstore.remove(block.block_id)
+        self.placement.forget(normalize(path))
+
+    # -- streams -----------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        overwrite: bool = False,
+        metrics: Optional[Metrics] = None,
+    ) -> HdfsOutputStream:
+        """Open an append-only output stream for a new file."""
+        self.namenode.create_file(path, overwrite=overwrite)
+        return HdfsOutputStream(self, normalize(path), metrics=metrics)
+
+    def open(
+        self,
+        path: str,
+        node: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
+        buffer_size: Optional[int] = None,
+        bandwidth_scale: float = 1.0,
+    ) -> HdfsInputStream:
+        """Open a buffered input stream.
+
+        ``node`` is the datanode the reading task runs on (None for
+        out-of-band access, e.g. loaders and tests, which read free of
+        charge when ``metrics`` is None and locally otherwise).
+        ``bandwidth_scale`` < 1 models interleaved multi-file scans.
+        """
+        blocks = self.namenode.blocks_of(path)
+        return HdfsInputStream(
+            blocks,
+            self.blockstore.get,
+            buffer_size=buffer_size or self.cluster.io_buffer_size,
+            node=node,
+            metrics=metrics,
+            disk=self.cluster.disk,
+            network=self.cluster.network,
+            bandwidth_scale=bandwidth_scale,
+        )
+
+    def write_file(
+        self, path: str, data: bytes, metrics: Optional[Metrics] = None
+    ) -> None:
+        """Create ``path`` holding exactly ``data`` (convenience)."""
+        with self.create(path, metrics=metrics) as out:
+            out.write(data)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read without accounting (loaders, tests)."""
+        return self.open(path).read_fully()
+
+    def _commit_file(
+        self, path: str, data: bytes, metrics: Optional[Metrics]
+    ) -> None:
+        """Cut ``data`` into blocks, place replicas, store payloads."""
+        block_size = self.cluster.block_size
+        offset = 0
+        while True:
+            chunk = data[offset:offset + block_size]
+            targets = self.placement.choose_targets(path, self.cluster, self._rng)
+            live = [n for n in targets if n not in self._failed_nodes]
+            if not live:
+                raise HdfsError(f"no live targets for block of {path}")
+            block = self.namenode.add_block(path, len(chunk), live)
+            self.blockstore.put(block.block_id, chunk)
+            offset += len(chunk)
+            if offset >= len(data):
+                break
+        if metrics is not None:
+            # The writer pays for its local replica; pipeline copies to
+            # the other replicas overlap with it.
+            self.cluster.disk.charge_write(metrics, len(data))
+
+    # -- locality queries ----------------------------------------------------
+
+    def block_locations(self, path: str) -> List[List[int]]:
+        return self.namenode.block_locations(path)
+
+    def hosts_for(self, path: str) -> List[int]:
+        """Nodes hosting *every* block of ``path`` (fully-local readers)."""
+        per_block = self.namenode.block_locations(path)
+        if not per_block:
+            return list(range(self.cluster.num_nodes))
+        hosts = set(per_block[0])
+        for locations in per_block[1:]:
+            hosts &= set(locations)
+        return sorted(hosts)
+
+    def bytes_on_node(self, node: int) -> int:
+        """Replica bytes hosted by ``node`` (load-balance statistics)."""
+        return sum(
+            b.length
+            for blocks in self.namenode.files_with_blocks().values()
+            for b in blocks
+            if node in b.locations
+        )
+
+    def fsck(self, path: Optional[str] = None) -> List[str]:
+        """Verify block checksums; returns paths with corrupt blocks.
+
+        ``path`` limits the check to one file or directory subtree
+        (None checks everything), like ``hdfs fsck``.
+        """
+        corrupt: List[str] = []
+        prefix = None if path is None else normalize(path)
+        for file_path, blocks in self.namenode.files_with_blocks().items():
+            if prefix is not None and not (
+                file_path == prefix or file_path.startswith(prefix + "/")
+            ):
+                continue
+            if any(
+                not self.blockstore.verify(block.block_id) for block in blocks
+            ):
+                corrupt.append(file_path)
+        return sorted(corrupt)
+
+    # -- failure injection (Section 4.3 future-work extension) ---------------
+
+    def fail_node(self, node: int) -> int:
+        """Kill a datanode and re-replicate its blocks via the policy.
+
+        Returns the number of block replicas re-created.  With CPP, the
+        replacement keeps each split-directory co-located (its pinned
+        set is re-pointed consistently before blocks move).
+        """
+        if node in self._failed_nodes:
+            return 0
+        self._failed_nodes.add(node)
+        if isinstance(self.placement, ColumnPlacementPolicy):
+            self.placement.repin_after_failure(node, self.cluster, self._rng)
+        moved = 0
+        for path, blocks in self.namenode.files_with_blocks().items():
+            for block in blocks:
+                if node not in block.locations:
+                    continue
+                block.locations.remove(node)
+                # Retry if the policy proposes another dead node (it has
+                # no failure knowledge of its own).
+                avoid = list(block.locations)
+                replacement = None
+                for _ in range(self.cluster.num_nodes):
+                    candidate = self.placement.choose_replacement(
+                        path, avoid, self.cluster, self._rng
+                    )
+                    if candidate not in self._failed_nodes:
+                        replacement = candidate
+                        break
+                    avoid.append(candidate)
+                if replacement is None:
+                    raise HdfsError(
+                        f"no live node available to re-replicate {path}"
+                    )
+                block.locations.append(replacement)
+                moved += 1
+        return moved
+
+    @property
+    def failed_nodes(self) -> set:
+        return set(self._failed_nodes)

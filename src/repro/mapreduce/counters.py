@@ -1,0 +1,32 @@
+"""Job counters, as in Hadoop's ``Counters`` facility."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """Named monotonic counters, mergeable across tasks."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(sorted(self._values.items()))!r})"

@@ -1,0 +1,65 @@
+"""Output formats: text files on HDFS, or in-memory collection."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mapreduce.types import OutputFormat, RecordWriter, TaskContext
+
+
+def render(value) -> str:
+    """Hadoop-style text rendering of a key or value."""
+    if value is None:
+        return ""
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    return str(value)
+
+
+class TextRecordWriter(RecordWriter):
+    """Tab-separated ``key<TAB>value`` lines, one file per reduce task."""
+
+    def __init__(self, fs, path: str, ctx: TaskContext) -> None:
+        self._stream = fs.create(path, metrics=ctx.metrics)
+        self._lines: List[str] = []
+
+    def write(self, key, value) -> None:
+        key_text = render(key)
+        value_text = render(value)
+        if key_text:
+            self._lines.append(key_text + "\t" + value_text + "\n")
+        else:
+            self._lines.append(value_text + "\n")
+
+    def close(self) -> None:
+        self._stream.write("".join(self._lines).encode("utf-8"))
+        self._stream.close()
+
+
+class TextOutputFormat(OutputFormat):
+    """Writes ``part-r-NNNNN`` text files under an output directory."""
+
+    def __init__(self, output_dir: str) -> None:
+        self.output_dir = output_dir.rstrip("/")
+
+    def open_writer(self, fs, task_index: int, ctx: TaskContext) -> RecordWriter:
+        path = f"{self.output_dir}/part-r-{task_index:05d}"
+        return TextRecordWriter(fs, path, ctx)
+
+
+class CollectWriter(RecordWriter):
+    def __init__(self, sink: List[Tuple[object, object]]) -> None:
+        self._sink = sink
+
+    def write(self, key, value) -> None:
+        self._sink.append((key, value))
+
+
+class CollectOutputFormat(OutputFormat):
+    """Gathers output pairs in memory — the default for tests/benches."""
+
+    def __init__(self) -> None:
+        self.collected: List[Tuple[object, object]] = []
+
+    def open_writer(self, fs, task_index: int, ctx: TaskContext) -> RecordWriter:
+        return CollectWriter(self.collected)

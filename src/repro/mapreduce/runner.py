@@ -1,0 +1,289 @@
+"""Job execution: map phase, shuffle/sort, reduce phase, result metrics.
+
+``run_job`` is the equivalent of Figure 1's ``JobRunner.submit(job)``.
+Map tasks run for real (decoding records through the configured
+InputFormat and invoking the user's map function) while the scheduler
+replays them against the cluster's slots; the shuffle, sort and reduce
+phases are then executed and timed.  The result carries the two numbers
+Table 1 reports per format — *map time* (total map-task seconds divided
+by the cluster's map slots) and *total time* (full-job makespan) — plus
+the bytes-read counters.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdfs.filesystem import FileSystem
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Job
+from repro.mapreduce.output import CollectOutputFormat
+from repro.mapreduce.scheduler import (
+    ScheduledTask,
+    makespan,
+    schedule_map_tasks,
+    simulate_wave_makespan,
+)
+from repro.mapreduce.types import InputSplit, TaskContext
+from repro.sim.metrics import Metrics
+
+#: CPU charge per key comparison in the reduce-side sort.
+_SORT_SECONDS_PER_COMPARE = 30e-9
+
+
+def estimate_pair_size(key, value) -> int:
+    """Approximate serialized size of a shuffled (key, value) pair."""
+    return _sizeof(key) + _sizeof(value) + 2
+
+
+def _sizeof(obj) -> int:
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 5
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, str):
+        return len(obj) + 2
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 2
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 4 + sum(_sizeof(x) for x in obj)
+    if isinstance(obj, dict):
+        return 4 + sum(_sizeof(k) + _sizeof(v) for k, v in obj.items())
+    return 16
+
+
+@dataclass
+class JobResult:
+    """Everything an experiment needs from one job run."""
+
+    job_name: str
+    map_time: float          # Table 1's "Map Time": sum(task time)/map slots
+    map_makespan: float
+    reduce_time: float
+    total_time: float        # Table 1's "Total Time"
+    bytes_read: int          # Table 1's "Data Read": HDFS bytes in map phase
+    map_metrics: Metrics
+    reduce_metrics: Metrics
+    counters: Counters
+    tasks: List[ScheduledTask] = field(default_factory=list)
+    output: List[Tuple[object, object]] = field(default_factory=list)
+
+    @property
+    def data_local_fraction(self) -> float:
+        if not self.tasks:
+            return 1.0
+        return sum(1 for t in self.tasks if t.data_local) / len(self.tasks)
+
+
+class JobRunner:
+    """Executes jobs against one simulated filesystem/cluster."""
+
+    def __init__(self, fs: FileSystem) -> None:
+        self.fs = fs
+
+    def run(self, job: Job) -> JobResult:
+        cluster = self.fs.cluster
+        splits = job.input_format.get_splits(self.fs, cluster)
+        counters = Counters()
+        map_outputs: List[List[List[Tuple[object, object]]]] = []
+
+        def execute(split: InputSplit, node: int) -> Metrics:
+            ctx = TaskContext(
+                node=node,
+                cost=job.cost,
+                io_buffer_size=cluster.io_buffer_size,
+            )
+            partitions = self._run_map_task(job, split, ctx)
+            map_outputs.append(partitions)
+            counters.merge(ctx.counters)
+            return ctx.metrics
+
+        tasks = schedule_map_tasks(
+            splits,
+            cluster.num_nodes,
+            cluster.map_slots_per_node,
+            execute,
+            speculative=job.speculative,
+        )
+        # map_outputs is appended in execution order, which matches the
+        # task list; attempts that lost a speculative race contribute
+        # cluster time but not output.
+        map_outputs = [
+            partitions
+            for task, partitions in zip(tasks, map_outputs)
+            if not task.killed
+        ]
+        map_metrics = Metrics()
+        for task in tasks:
+            map_metrics.add(task.metrics)
+        map_makespan = makespan(tasks)
+        map_time = sum(t.duration for t in tasks) / cluster.total_map_slots
+        counters.increment("map.tasks", len(tasks))
+        counters.increment(
+            "map.data_local_tasks", sum(1 for t in tasks if t.data_local)
+        )
+        counters.increment("map.records", map_metrics.records)
+
+        collect: Optional[CollectOutputFormat] = None
+        output_format = job.output_format
+        if output_format is None:
+            collect = CollectOutputFormat()
+            output_format = collect
+
+        reduce_metrics = Metrics()
+        if job.is_map_only:
+            # Map output goes straight to the output format; writing cost
+            # is already inside each task's metrics budget in Hadoop, but
+            # for map-only jobs we charge it to the reduce side as zero.
+            writer_ctx = TaskContext(
+                node=None, cost=job.cost, io_buffer_size=cluster.io_buffer_size
+            )
+            writer = output_format.open_writer(self.fs, 0, writer_ctx)
+            for partitions in map_outputs:
+                for partition in partitions:
+                    for key, value in partition:
+                        writer.write(key, value)
+            writer.close()
+            reduce_makespan = 0.0
+        else:
+            durations = []
+            for r in range(job.num_reducers):
+                ctx = TaskContext(
+                    node=None,
+                    cost=job.cost,
+                    io_buffer_size=cluster.io_buffer_size,
+                )
+                self._run_reduce_task(job, r, map_outputs, output_format, ctx)
+                counters.merge(ctx.counters)
+                reduce_metrics.add(ctx.metrics)
+                durations.append(ctx.metrics.task_time)
+            reduce_makespan = simulate_wave_makespan(
+                durations, cluster.total_reduce_slots
+            )
+            counters.increment("reduce.tasks", job.num_reducers)
+
+        total_time = (
+            map_makespan + reduce_makespan + cluster.job_overhead_seconds
+        )
+        return JobResult(
+            job_name=job.name,
+            map_time=map_time,
+            map_makespan=map_makespan,
+            reduce_time=reduce_makespan,
+            total_time=total_time,
+            bytes_read=map_metrics.total_bytes_read,
+            map_metrics=map_metrics,
+            reduce_metrics=reduce_metrics,
+            counters=counters,
+            tasks=tasks,
+            output=collect.collected if collect is not None else [],
+        )
+
+    # -- phases -----------------------------------------------------------
+
+    def _run_map_task(
+        self, job: Job, split: InputSplit, ctx: TaskContext
+    ) -> List[List[Tuple[object, object]]]:
+        """Run one map task; returns its output partitioned for reducers."""
+        num_partitions = max(job.num_reducers, 1)
+        partitions: List[List[Tuple[object, object]]] = [
+            [] for _ in range(num_partitions)
+        ]
+
+        def emit(key, value):
+            index = (
+                _stable_hash(key) % num_partitions if num_partitions > 1 else 0
+            )
+            partitions[index].append((key, value))
+
+        reader = job.input_format.open_reader(self.fs, split, ctx)
+        try:
+            for key, value in reader:
+                job.cost.charge_map_invoke(ctx.metrics)
+                job.mapper(key, value, emit, ctx)
+        finally:
+            reader.close()
+
+        if job.combiner is not None and not job.is_map_only:
+            partitions = [
+                self._combine(job, ctx, partition) for partition in partitions
+            ]
+
+        # Spilling map output to local disk before the shuffle.
+        spill_bytes = sum(
+            estimate_pair_size(k, v) for p in partitions for k, v in p
+        )
+        if spill_bytes:
+            self.fs.cluster.disk.charge_write(ctx.metrics, spill_bytes)
+        return partitions
+
+    def _combine(
+        self, job: Job, ctx: TaskContext, pairs: List[Tuple[object, object]]
+    ) -> List[Tuple[object, object]]:
+        grouped: Dict[object, List[object]] = {}
+        for key, value in pairs:
+            grouped.setdefault(key, []).append(value)
+        out: List[Tuple[object, object]] = []
+        for key, values in grouped.items():
+            job.combiner(key, iter(values), lambda k, v: out.append((k, v)), ctx)
+        return out
+
+    def _run_reduce_task(
+        self,
+        job: Job,
+        partition_index: int,
+        map_outputs,
+        output_format,
+        ctx: TaskContext,
+    ) -> None:
+        pairs: List[Tuple[object, object]] = []
+        shuffle_bytes = 0
+        for partitions in map_outputs:
+            for key, value in partitions[partition_index]:
+                pairs.append((key, value))
+                shuffle_bytes += estimate_pair_size(key, value)
+        if shuffle_bytes:
+            self.fs.cluster.network.charge_shuffle(ctx.metrics, shuffle_bytes)
+        pairs.sort(key=lambda kv: _sort_key(kv[0]))
+        if pairs:
+            comparisons = len(pairs) * max(1, int(math.log2(len(pairs)) + 1))
+            ctx.metrics.charge_cpu(comparisons * _SORT_SECONDS_PER_COMPARE)
+        writer = output_format.open_writer(self.fs, partition_index, ctx)
+        i = 0
+        while i < len(pairs):
+            key = pairs[i][0]
+            j = i
+            while j < len(pairs) and pairs[j][0] == key:
+                j += 1
+            values = (pairs[k][1] for k in range(i, j))
+            job.reducer(key, values, writer.write, ctx)
+            ctx.counters.increment("reduce.groups")
+            i = j
+        writer.close()
+
+
+def _stable_hash(key) -> int:
+    """A process-independent partitioning hash.
+
+    Python's built-in ``hash`` is salted per process (PYTHONHASHSEED),
+    which would make reducer assignment — and therefore per-reducer
+    shuffle metrics — vary between runs of the same job.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def _sort_key(key):
+    """A total order over heterogeneous shuffle keys."""
+    return (type(key).__name__, repr(key)) if not isinstance(key, str) else ("str", key)
+
+
+def run_job(fs: FileSystem, job: Job) -> JobResult:
+    """Convenience wrapper: ``JobRunner(fs).run(job)``."""
+    return JobRunner(fs).run(job)

@@ -1,0 +1,169 @@
+"""Locality-aware, event-driven slot scheduling.
+
+Reproduces the scheduling behaviour the paper's co-location argument
+depends on (Section 4.1): when a map slot frees up, the scheduler
+prefers a split whose data is local to that node; if none exists the
+task runs anyway and pays remote-read costs.  Task durations are not
+known in advance — the scheduler *executes* each task (via a callback)
+once it has decided where it runs, because placement determines how much
+of the split is read remotely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.mapreduce.types import InputSplit
+from repro.sim.metrics import Metrics
+
+
+@dataclass
+class ScheduledTask:
+    """One executed map task (or speculative duplicate) and its placement."""
+
+    split: InputSplit
+    node: int
+    start: float
+    duration: float
+    metrics: Metrics
+    data_local: bool
+    speculative: bool = False
+    killed: bool = False  # lost the race against its duplicate/original
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def schedule_map_tasks(
+    splits: Sequence[InputSplit],
+    num_nodes: int,
+    slots_per_node: int,
+    execute: Callable[[InputSplit, int], Metrics],
+    speculative: bool = False,
+) -> List[ScheduledTask]:
+    """Run every split on the simulated cluster; returns executed tasks.
+
+    ``execute(split, node)`` performs the task's real work and returns
+    its metrics; the task's simulated duration is ``metrics.task_time``.
+
+    With ``speculative=True``, once no pending work remains, idle slots
+    launch duplicates of still-running *non-local* tasks on nodes that
+    hold their data (Hadoop's speculative execution); whichever attempt
+    finishes first wins and the loser is marked ``killed``.  Both
+    attempts' durations count — speculation trades cluster work for
+    wall-clock time, exactly as in Hadoop.
+    """
+    pending = list(range(len(splits)))
+    # Min-heap of (free_time, node, slot). Node order within equal times
+    # keeps ties deterministic.
+    slots = [
+        (0.0, node, slot)
+        for node in range(num_nodes)
+        for slot in range(slots_per_node)
+    ]
+    heapq.heapify(slots)
+    tasks: List[ScheduledTask] = []
+
+    def assign(now: float, node: int, slot: int, index: int, local: bool):
+        split = splits[index]
+        metrics = execute(split, node)
+        duration = metrics.task_time
+        tasks.append(ScheduledTask(split, node, now, duration, metrics, local))
+        heapq.heappush(slots, (now + duration, node, slot))
+
+    while pending and slots:
+        # Take every slot freeing at the same instant as one batch (at
+        # t=0 that is the whole cluster) and match data-local pairs
+        # first — the effect Hadoop gets from per-node task lists and
+        # delay scheduling.  Leftover slots then run non-local tasks.
+        now = slots[0][0]
+        batch = []
+        while slots and slots[0][0] == now:
+            batch.append(heapq.heappop(slots))
+        spare = []
+        for _, node, slot in batch:
+            chosen = None
+            for i, split_idx in enumerate(pending):
+                if node in splits[split_idx].locations:
+                    chosen = i
+                    break
+            if chosen is None:
+                spare.append((node, slot))
+            else:
+                assign(now, node, slot, pending.pop(chosen), True)
+        for node, slot in spare:
+            if not pending:
+                break
+            assign(now, node, slot, pending.pop(0), False)
+    if speculative:
+        _speculate(tasks, slots, execute)
+    return tasks
+
+
+def _speculate(
+    tasks: List[ScheduledTask],
+    slots: List,
+    execute: Callable[[InputSplit, int], Metrics],
+) -> None:
+    """Duplicate slow non-local tasks onto idle data-local slots."""
+    speculated = set()
+    while slots:
+        now, node, slot = heapq.heappop(slots)
+        candidates = [
+            t for t in tasks
+            if t.end > now
+            and not t.data_local
+            and not t.speculative
+            and id(t.split) not in speculated
+            and node in t.split.locations
+            and t.node != node
+        ]
+        if not candidates:
+            continue  # this slot has nothing useful to speculate on
+        victim = max(candidates, key=lambda t: t.end)
+        speculated.add(id(victim.split))
+        metrics = execute(victim.split, node)
+        duration = metrics.task_time
+        duplicate = ScheduledTask(
+            victim.split, node, now, duration, metrics,
+            data_local=True, speculative=True,
+        )
+        if duplicate.end < victim.end:
+            # The local duplicate wins; the original is killed the
+            # moment the duplicate commits.
+            victim.duration = duplicate.end - victim.start
+            victim.killed = True
+        else:
+            # The original finishes first; the duplicate dies with it.
+            duplicate.duration = max(0.0, victim.end - now)
+            duplicate.killed = True
+        tasks.append(duplicate)
+        heapq.heappush(slots, (duplicate.end, node, slot))
+        # A slot only speculates once per freeing; when it frees again
+        # it will be popped again and reconsidered.
+        if len(speculated) >= len(tasks):
+            break
+
+
+def makespan(tasks: Sequence[ScheduledTask]) -> float:
+    """Wall-clock end of the last task (0 for an empty task list)."""
+    return max((t.end for t in tasks), default=0.0)
+
+
+def simulate_wave_makespan(durations: Sequence[float], total_slots: int) -> float:
+    """Makespan of independent tasks on ``total_slots`` identical slots.
+
+    Used for the reduce phase, where there is no data locality: a simple
+    longest-processing-time-first packing over a slot heap.
+    """
+    if not durations or total_slots < 1:
+        return 0.0
+    slots = [0.0] * min(total_slots, len(durations))
+    heapq.heapify(slots)
+    for duration in sorted(durations, reverse=True):
+        free = heapq.heappop(slots)
+        heapq.heappush(slots, free + duration)
+    return max(slots)

@@ -1,0 +1,119 @@
+"""Aggregate functions for the query layer.
+
+Each aggregate is defined by three pieces (the classic
+initialize/accumulate/merge/finalize decomposition that makes combiners
+possible): a per-record accumulator, a partial-state merger (run in the
+combiner and the reducer), and a finalizer.  Aggregates whose partials
+are not summaries (``count_distinct``) mark themselves non-combinable
+and force the planner to skip the combiner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.query.expr import Expr, lit
+
+
+class Aggregate:
+    """One aggregate: expr + (init, step, merge, finish)."""
+
+    def __init__(
+        self,
+        expr: Optional[Expr],
+        init: Callable,
+        step: Callable,
+        merge: Callable,
+        finish: Callable,
+        description: str,
+        combinable: bool = True,
+    ) -> None:
+        self.expr = expr if expr is not None else lit(None)
+        self.init = init
+        self.step = step
+        self.merge = merge
+        self.finish = finish
+        self.description = description
+        self.combinable = combinable
+
+    @property
+    def columns(self):
+        return self.expr.columns
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.description})"
+
+
+def count() -> Aggregate:
+    """Number of records in the group."""
+    return Aggregate(
+        None,
+        init=lambda: 0,
+        step=lambda state, value: state + 1,
+        merge=lambda a, b: a + b,
+        finish=lambda state: state,
+        description="count()",
+    )
+
+
+def sum_(expr: Expr) -> Aggregate:
+    return Aggregate(
+        expr,
+        init=lambda: 0,
+        step=lambda state, value: state + value,
+        merge=lambda a, b: a + b,
+        finish=lambda state: state,
+        description=f"sum({expr.description})",
+    )
+
+
+def min_(expr: Expr) -> Aggregate:
+    return Aggregate(
+        expr,
+        init=lambda: None,
+        step=lambda state, value: value if state is None else min(state, value),
+        merge=lambda a, b: b if a is None else a if b is None else min(a, b),
+        finish=lambda state: state,
+        description=f"min({expr.description})",
+    )
+
+
+def max_(expr: Expr) -> Aggregate:
+    return Aggregate(
+        expr,
+        init=lambda: None,
+        step=lambda state, value: value if state is None else max(state, value),
+        merge=lambda a, b: b if a is None else a if b is None else max(a, b),
+        finish=lambda state: state,
+        description=f"max({expr.description})",
+    )
+
+
+def avg(expr: Expr) -> Aggregate:
+    """Arithmetic mean (partials are (sum, count) pairs, so it combines)."""
+    return Aggregate(
+        expr,
+        init=lambda: (0, 0),
+        step=lambda state, value: (state[0] + value, state[1] + 1),
+        merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        finish=lambda state: state[0] / state[1] if state[1] else None,
+        description=f"avg({expr.description})",
+    )
+
+
+def count_distinct(expr: Expr) -> Aggregate:
+    """Exact distinct count.
+
+    Partials are full value sets, which a combiner can still merge —
+    but shuffling sets loses the size advantage, so it is marked
+    non-combinable and resolved reduce-side, like Figure 1's job.
+    """
+    return Aggregate(
+        expr,
+        init=lambda: set(),
+        step=lambda state, value: (state.add(value), state)[1],
+        merge=lambda a, b: a | b,
+        finish=lambda state: len(state),
+        description=f"count_distinct({expr.description})",
+        combinable=False,
+    )

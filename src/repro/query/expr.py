@@ -1,0 +1,181 @@
+"""Expression trees over records.
+
+An :class:`Expr` evaluates against a record (eager or lazy — it only
+uses ``record.get``) and knows which top-level columns it touches, which
+is what lets the planner push projections down without the user naming
+columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+
+class Expr:
+    """A scalar expression over one record."""
+
+    def __init__(
+        self,
+        evaluate: Callable,
+        columns: FrozenSet[str],
+        description: str,
+    ) -> None:
+        self._evaluate = evaluate
+        #: top-level record columns this expression reads
+        self.columns = columns
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"Expr({self.description})"
+
+    def evaluate(self, record, ctx=None):
+        """Evaluate against a record (optionally charging predicate cost)."""
+        return self._evaluate(record, ctx)
+
+    # -- composition -----------------------------------------------------
+
+    _COMPARISONS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+
+    def _binary(self, other, op: Callable, symbol: str) -> "Expr":
+        other = other if isinstance(other, Expr) else lit(other)
+
+        def evaluate(record, ctx):
+            return op(self.evaluate(record, ctx), other.evaluate(record, ctx))
+
+        result = Expr(
+            evaluate,
+            self.columns | other.columns,
+            f"({self.description} {symbol} {other.description})",
+        )
+        # Self-describe `column <op> literal` comparisons so the planner
+        # can push them down as zone-map range predicates; conjunctions
+        # concatenate both sides' constraints (an AND of prunable parts
+        # is itself prunable — any unsatisfiable conjunct prunes).
+        if symbol in self._COMPARISONS:
+            left_col = getattr(self, "column_name", None)
+            right_col = getattr(other, "column_name", None)
+            if left_col is not None and hasattr(other, "literal_value"):
+                result.range_constraint = (
+                    left_col, symbol, other.literal_value
+                )
+            elif right_col is not None and hasattr(self, "literal_value"):
+                result.range_constraint = (
+                    right_col, self._COMPARISONS[symbol], self.literal_value
+                )
+            if hasattr(result, "range_constraint"):
+                result.range_constraints = [result.range_constraint]
+        elif symbol == "and":
+            combined = list(getattr(self, "range_constraints", [])) + list(
+                getattr(other, "range_constraints", [])
+            )
+            if combined:
+                result.range_constraints = combined
+        return result
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, lambda a, b: a == b, "==")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, lambda a, b: a != b, "!=")
+
+    def __lt__(self, other):
+        return self._binary(other, lambda a, b: a < b, "<")
+
+    def __le__(self, other):
+        return self._binary(other, lambda a, b: a <= b, "<=")
+
+    def __gt__(self, other):
+        return self._binary(other, lambda a, b: a > b, ">")
+
+    def __ge__(self, other):
+        return self._binary(other, lambda a, b: a >= b, ">=")
+
+    def __add__(self, other):
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __sub__(self, other):
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __mul__(self, other):
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __and__(self, other):
+        return self._binary(other, lambda a, b: bool(a) and bool(b), "and")
+
+    def __or__(self, other):
+        return self._binary(other, lambda a, b: bool(a) or bool(b), "or")
+
+    def __invert__(self):
+        return Expr(
+            lambda record, ctx: not self.evaluate(record, ctx),
+            self.columns,
+            f"(not {self.description})",
+        )
+
+    def __hash__(self):
+        return hash(self.description)
+
+    # -- string / container helpers ---------------------------------------
+
+    def contains(self, needle: str) -> "Expr":
+        """Substring (or membership) test; charges predicate CPU cost."""
+
+        def evaluate(record, ctx):
+            value = self.evaluate(record, ctx)
+            if ctx is not None and isinstance(value, (str, bytes)):
+                ctx.charge_predicate(value)
+            return needle in value
+
+        return Expr(
+            evaluate, self.columns,
+            f"{self.description} contains {needle!r}",
+        )
+
+    def __getitem__(self, key) -> "Expr":
+        """Map-key (or array-index) access: ``col('metadata')['server']``."""
+
+        def evaluate(record, ctx):
+            value = self.evaluate(record, ctx)
+            if isinstance(value, dict):
+                return value.get(key)
+            return value[key]
+
+        return Expr(evaluate, self.columns, f"{self.description}[{key!r}]")
+
+    def length(self) -> "Expr":
+        return Expr(
+            lambda record, ctx: len(self.evaluate(record, ctx)),
+            self.columns,
+            f"len({self.description})",
+        )
+
+    def is_null(self) -> "Expr":
+        return Expr(
+            lambda record, ctx: self.evaluate(record, ctx) is None,
+            self.columns,
+            f"{self.description} is null",
+        )
+
+    def apply(self, fn: Callable, name: Optional[str] = None) -> "Expr":
+        """Escape hatch: apply an arbitrary Python function."""
+        return Expr(
+            lambda record, ctx: fn(self.evaluate(record, ctx)),
+            self.columns,
+            f"{name or getattr(fn, '__name__', 'fn')}({self.description})",
+        )
+
+
+def col(name: str) -> Expr:
+    """Reference a top-level record column."""
+    expr = Expr(
+        lambda record, ctx: record.get(name), frozenset([name]), name
+    )
+    expr.column_name = name  # marks a bare column ref (for push-down)
+    return expr
+
+
+def lit(value) -> Expr:
+    """A constant."""
+    expr = Expr(lambda record, ctx: value, frozenset(), repr(value))
+    expr.literal_value = value
+    return expr

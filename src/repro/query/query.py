@@ -1,0 +1,302 @@
+"""The query builder, planner, and executor.
+
+``Q`` accumulates filters, projections and aggregations, then compiles
+to one MapReduce job.  The planning decisions the paper's techniques
+enable happen here, automatically:
+
+- **projection push-down**: the union of columns referenced by any
+  expression becomes the CIF projection — unreferenced column files are
+  never opened;
+- **late materialization**: filters are evaluated first against lazy
+  records, so non-filter columns are deserialized only for records that
+  survive every predicate (Section 5's LazyRecord benefit, without the
+  user writing the two-phase access by hand);
+- **combiners** where every aggregate is algebraic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cif import ColumnInputFormat
+from repro.core.stats import extract_range_predicates
+from repro.mapreduce.job import Job
+from repro.mapreduce.runner import JobResult, run_job
+from repro.query.aggregates import Aggregate
+from repro.query.expr import Expr, col
+
+_UNGROUPED = ("__all__",)
+
+
+class QueryError(ValueError):
+    """Malformed query construction or execution."""
+
+
+class QueryResult:
+    """Rows plus the underlying job's execution report."""
+
+    def __init__(self, rows: List[dict], job_result: JobResult) -> None:
+        self.rows = rows
+        self.job = job_result
+
+    @property
+    def bytes_read(self) -> int:
+        return self.job.bytes_read
+
+    @property
+    def map_time(self) -> float:
+        return self.job.map_time
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self.rows)} rows)"
+
+
+class Q:
+    """A query over a CIF dataset (immutable builder)."""
+
+    def __init__(self, dataset: str) -> None:
+        self.dataset = dataset
+        self._filters: List[Expr] = []
+        self._selects: Dict[str, Expr] = {}
+        self._group_by: Dict[str, Expr] = {}
+        self._aggregates: Dict[str, Aggregate] = {}
+        self._having: List = []       # post-aggregation row predicates
+        self._order_by: Optional[Tuple[str, bool]] = None
+        self._limit: Optional[int] = None
+        self._num_reducers = 4
+
+    def _copy(self) -> "Q":
+        out = Q(self.dataset)
+        out._filters = list(self._filters)
+        out._selects = dict(self._selects)
+        out._group_by = dict(self._group_by)
+        out._aggregates = dict(self._aggregates)
+        out._having = list(self._having)
+        out._order_by = self._order_by
+        out._limit = self._limit
+        out._num_reducers = self._num_reducers
+        return out
+
+    # -- builder -----------------------------------------------------------
+
+    def where(self, predicate: Expr) -> "Q":
+        """Add a (conjunctive) filter."""
+        out = self._copy()
+        out._filters.append(predicate)
+        return out
+
+    def select(self, *columns: str, **named: Expr) -> "Q":
+        """Project columns and/or named expressions (no aggregation)."""
+        if self._aggregates:
+            raise QueryError("select() cannot follow aggregate()")
+        out = self._copy()
+        for name in columns:
+            out._selects[name] = col(name)
+        out._selects.update(named)
+        return out
+
+    def group_by(self, *columns: str, **named: Expr) -> "Q":
+        out = self._copy()
+        for name in columns:
+            out._group_by[name] = col(name)
+        out._group_by.update(named)
+        return out
+
+    def aggregate(self, **aggregates: Aggregate) -> "Q":
+        if not aggregates:
+            raise QueryError("aggregate() needs at least one aggregate")
+        if self._selects:
+            raise QueryError("aggregate() cannot follow select()")
+        out = self._copy()
+        out._aggregates.update(aggregates)
+        return out
+
+    def having(self, predicate) -> "Q":
+        """Filter output rows *after* aggregation.
+
+        ``predicate`` is a plain callable over the result-row dict
+        (which holds group keys and aggregate values by name)::
+
+            .having(lambda row: row["pages"] > 10)
+        """
+        if not callable(predicate):
+            raise QueryError("having() takes a callable over result rows")
+        out = self._copy()
+        out._having.append(predicate)
+        return out
+
+    def order_by(self, column: str, descending: bool = False) -> "Q":
+        """Sort result rows by one output column."""
+        out = self._copy()
+        out._order_by = (column, descending)
+        return out
+
+    def limit(self, n: int) -> "Q":
+        """Keep only the first ``n`` result rows (after any ordering)."""
+        if n < 0:
+            raise QueryError("limit must be >= 0")
+        out = self._copy()
+        out._limit = n
+        return out
+
+    def reducers(self, n: int) -> "Q":
+        out = self._copy()
+        out._num_reducers = n
+        return out
+
+    # -- planning -----------------------------------------------------------
+
+    def referenced_columns(self) -> List[str]:
+        """Every top-level column any expression touches."""
+        referenced = set()
+        for expr in self._filters:
+            referenced |= expr.columns
+        for expr in self._selects.values():
+            referenced |= expr.columns
+        for expr in self._group_by.values():
+            referenced |= expr.columns
+        for aggregate in self._aggregates.values():
+            referenced |= aggregate.columns
+        return sorted(referenced)
+
+    def _combinable(self) -> bool:
+        return all(a.combinable for a in self._aggregates.values())
+
+    def explain(self) -> str:
+        """A human-readable plan description."""
+        lines = [f"scan {self.dataset} (CIF, lazy records)"]
+        columns = self.referenced_columns()
+        lines.append(f"  projection push-down: {columns or ['<none>']}")
+        for predicate in extract_range_predicates(self._filters):
+            lines.append(
+                "  zone-map pruning: "
+                f"{predicate.column} {predicate.op} {predicate.value!r}"
+            )
+        for expr in self._filters:
+            lines.append(f"  filter (evaluated first): {expr.description}")
+        if self._aggregates:
+            keys = [e.description for e in self._group_by.values()]
+            lines.append(f"  group by: {keys or ['<all rows>']}")
+            for name, aggregate in self._aggregates.items():
+                lines.append(f"  aggregate {name} = {aggregate.description}")
+            lines.append(
+                "  combiner: "
+                + ("yes (all aggregates algebraic)" if self._combinable()
+                   else "no (non-combinable aggregate present)")
+            )
+        elif self._selects:
+            names = [
+                f"{name}={expr.description}"
+                for name, expr in self._selects.items()
+            ]
+            lines.append(f"  project: {names}")
+        return "\n".join(lines)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, fs) -> QueryResult:
+        if self._aggregates:
+            return self._run_aggregation(fs)
+        return self._run_projection(fs)
+
+    def _input_format(self) -> ColumnInputFormat:
+        return ColumnInputFormat(
+            self.dataset,
+            columns=self.referenced_columns() or None,
+            lazy=True,
+            predicates=extract_range_predicates(self._filters),
+        )
+
+    def _passes(self, record, ctx) -> bool:
+        return all(f.evaluate(record, ctx) for f in self._filters)
+
+    def _run_projection(self, fs) -> QueryResult:
+        selects = dict(self._selects)
+        if not selects:
+            raise QueryError("nothing to compute: add select() or aggregate()")
+
+        def mapper(key, record, emit, ctx):
+            if self._passes(record, ctx):
+                emit(None, tuple(
+                    expr.evaluate(record, ctx) for expr in selects.values()
+                ))
+
+        job = Job(f"query({self.dataset})", mapper, self._input_format())
+        job_result = run_job(fs, job)
+        rows = [
+            dict(zip(selects.keys(), values)) for _, values in job_result.output
+        ]
+        return QueryResult(self._finalize_rows(rows), job_result)
+
+    def _run_aggregation(self, fs) -> QueryResult:
+        group_exprs = dict(self._group_by)
+        aggregates = dict(self._aggregates)
+
+        def mapper(key, record, emit, ctx):
+            if not self._passes(record, ctx):
+                return
+            group_key: Tuple = (
+                tuple(e.evaluate(record, ctx) for e in group_exprs.values())
+                if group_exprs
+                else _UNGROUPED
+            )
+            partial = tuple(
+                a.step(a.init(), a.expr.evaluate(record, ctx))
+                for a in aggregates.values()
+            )
+            emit(group_key, partial)
+
+        def merge(key, values, emit, ctx):
+            merged: Optional[tuple] = None
+            for partial in values:
+                if merged is None:
+                    merged = partial
+                else:
+                    merged = tuple(
+                        a.merge(m, p)
+                        for a, m, p in zip(aggregates.values(), merged, partial)
+                    )
+            emit(key, merged)
+
+        def reducer(key, values, emit, ctx):
+            merge(key, values, lambda k, merged: emit(
+                k, tuple(a.finish(m) for a, m in zip(aggregates.values(), merged))
+            ), ctx)
+
+        job = Job(
+            f"query({self.dataset})",
+            mapper,
+            self._input_format(),
+            reducer=reducer,
+            combiner=merge if self._combinable() else None,
+            num_reducers=self._num_reducers,
+        )
+        job_result = run_job(fs, job)
+        rows = []
+        for group_key, finished in job_result.output:
+            row = {}
+            if group_exprs:
+                row.update(zip(group_exprs.keys(), group_key))
+            row.update(zip(aggregates.keys(), finished))
+            rows.append(row)
+        rows.sort(key=lambda r: repr([r.get(k) for k in group_exprs]))
+        return QueryResult(self._finalize_rows(rows), job_result)
+
+    def _finalize_rows(self, rows: List[dict]) -> List[dict]:
+        """Apply having / order_by / limit to the output rows."""
+        for predicate in self._having:
+            rows = [row for row in rows if predicate(row)]
+        if self._order_by is not None:
+            column, descending = self._order_by
+            rows = sorted(
+                rows, key=lambda r: r.get(column), reverse=descending
+            )
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return rows

@@ -1,0 +1,29 @@
+"""Avro-like serialization framework (Appendix A of the paper).
+
+The paper assumes MapReduce jobs are written against a generic
+``Record`` abstraction provided by a serialization framework (Avro in
+their experiments; Thrift and Protocol Buffers would work the same way).
+This package is that substrate:
+
+- :mod:`repro.serde.schema` — schemas with the complex types the paper
+  cares about (arrays, maps, nested records; Figure 2's ``URLInfo``),
+- :mod:`repro.serde.record` — the generic ``get(name)`` record,
+- :mod:`repro.serde.binary` — compact binary encoding (zig-zag varints,
+  length-prefixed strings/bytes, counted containers) with decode *and*
+  skip paths, both charged through the CPU cost model,
+- :mod:`repro.serde.text` — the delimited text encoding used by the TXT
+  baseline.
+"""
+
+from repro.serde.binary import BinaryDecoder, BinaryEncoder
+from repro.serde.record import Record
+from repro.serde.schema import Field, Schema, SchemaError
+
+__all__ = [
+    "BinaryDecoder",
+    "BinaryEncoder",
+    "Field",
+    "Record",
+    "Schema",
+    "SchemaError",
+]

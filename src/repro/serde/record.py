@@ -1,0 +1,55 @@
+"""The generic Record abstraction (Appendix A).
+
+MapReduce jobs in the paper access record attributes through
+``rec.get(name)`` on a generic record, regardless of which InputFormat
+produced it.  :class:`Record` is that interface; it is implemented
+eagerly here and lazily by :class:`repro.core.lazy.LazyRecord` — map
+functions cannot tell the difference, which is the point (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serde.schema import Schema, SchemaError
+
+
+class Record:
+    """An eagerly materialized record conforming to a record schema.
+
+    Attribute access follows the paper's API: ``rec.get("url")`` returns
+    the value (callers type-cast in Java; in Python they just use it).
+    """
+
+    __slots__ = ("schema", "_values")
+
+    def __init__(self, schema: Schema, values: Optional[dict] = None) -> None:
+        if schema.kind != "record":
+            raise SchemaError("Record requires a record schema")
+        self.schema = schema
+        self._values = [None] * len(schema.fields)
+        if values:
+            for name, value in values.items():
+                self.put(name, value)
+
+    def get(self, name: str):
+        """Return the value of field ``name`` (None if never set)."""
+        return self._values[self.schema.field(name).index]
+
+    def put(self, name: str, value) -> None:
+        self._values[self.schema.field(name).index] = value
+
+    def to_dict(self) -> dict:
+        return {f.name: self._values[f.index] for f in self.schema.fields}
+
+    def values_in_order(self) -> list:
+        """Field values in schema order (used by encoders)."""
+        return list(self._values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.schema == other.schema and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return f"Record({self.to_dict()!r})"

@@ -1,0 +1,99 @@
+"""Schema validation with path-accurate error messages.
+
+The binary encoder fails on malformed values with low-level errors
+("varint cannot encode negative value") that do not say *where* in a
+nested record the problem sits.  ``validate`` walks a value against its
+schema first and reports the offending path — what a loader wants to
+show when rejecting a bad input record.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+
+_INT_RANGE = {
+    "int": (-(2**31), 2**31 - 1),
+    "long": (-(2**63), 2**63 - 1),
+    "time": (0, 2**63 - 1),
+}
+
+
+class ValidationError(ValueError):
+    """A value does not conform to its schema; ``path`` says where."""
+
+    def __init__(self, path: List[str], message: str) -> None:
+        self.path = "/".join(path) or "<root>"
+        super().__init__(f"at {self.path}: {message}")
+
+
+def validate(schema: Schema, value, _path=None) -> None:
+    """Raise :class:`ValidationError` unless ``value`` conforms."""
+    path = _path if _path is not None else []
+    kind = schema.kind
+    if kind in ("int", "long", "time"):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(path, f"expected {kind}, got {_name(value)}")
+        lo, hi = _INT_RANGE[kind]
+        if not lo <= value <= hi:
+            raise ValidationError(
+                path, f"{value} outside {kind} range [{lo}, {hi}]"
+            )
+    elif kind == "double":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(path, f"expected double, got {_name(value)}")
+    elif kind == "boolean":
+        if not isinstance(value, bool):
+            raise ValidationError(path, f"expected boolean, got {_name(value)}")
+    elif kind == "string":
+        if not isinstance(value, str):
+            raise ValidationError(path, f"expected string, got {_name(value)}")
+    elif kind == "bytes":
+        if not isinstance(value, (bytes, bytearray)):
+            raise ValidationError(path, f"expected bytes, got {_name(value)}")
+    elif kind == "array":
+        if not isinstance(value, (list, tuple)):
+            raise ValidationError(path, f"expected array, got {_name(value)}")
+        for i, item in enumerate(value):
+            validate(schema.items, item, path + [f"[{i}]"])
+    elif kind == "map":
+        if not isinstance(value, dict):
+            raise ValidationError(path, f"expected map, got {_name(value)}")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(
+                    path, f"map keys must be strings, got {_name(key)}"
+                )
+            validate(schema.values, item, path + [key])
+    elif kind == "record":
+        if isinstance(value, Record):
+            if value.schema != schema:
+                raise ValidationError(path, "record schema mismatch")
+            items = value.to_dict()
+        elif isinstance(value, dict):
+            missing = set(schema.field_names) - set(value)
+            extra = set(value) - set(schema.field_names)
+            if missing:
+                raise ValidationError(path, f"missing fields {sorted(missing)}")
+            if extra:
+                raise ValidationError(path, f"unknown fields {sorted(extra)}")
+            items = value
+        else:
+            raise ValidationError(path, f"expected record, got {_name(value)}")
+        for field in schema.fields:
+            validate(field.schema, items[field.name], path + [field.name])
+
+
+def is_valid(schema: Schema, value) -> bool:
+    """Non-raising form of :func:`validate`."""
+    try:
+        validate(schema, value)
+        return True
+    except ValidationError:
+        return False
+
+
+def _name(value) -> str:
+    return type(value).__name__

@@ -1,0 +1,35 @@
+"""Performance-simulation substrate.
+
+The paper's experiments ran on a 40-datanode Hadoop cluster with Java
+mappers.  Re-running them directly in Python would produce misleading
+CPU-bound numbers (Python is uniformly slow, so the I/O-vs-CPU crossovers
+the paper reports would land in the wrong places).  Instead, every format
+in this reproduction does the *real* byte-level work (serialization,
+compression, skipping), while *time* is charged through the models in
+this package:
+
+- :class:`~repro.sim.models.DiskModel` / :class:`~repro.sim.models.NetworkModel`
+  convert bytes and seeks into I/O seconds,
+- :class:`~repro.sim.cost.CpuCostModel` converts deserialization /
+  parsing / decompression operations into CPU seconds, and
+- :class:`~repro.sim.metrics.Metrics` accumulates both per task, plus the
+  byte counters the paper reports (Table 1's "Data Read" column).
+
+Constants live in :mod:`repro.sim.calibration`, derived from the ratios
+the paper itself reports.
+"""
+
+from repro.sim.calibration import CostProfile, MANAGED_PROFILE, NATIVE_PROFILE
+from repro.sim.cost import CpuCostModel
+from repro.sim.metrics import Metrics
+from repro.sim.models import DiskModel, NetworkModel
+
+__all__ = [
+    "CostProfile",
+    "CpuCostModel",
+    "DiskModel",
+    "Metrics",
+    "NetworkModel",
+    "MANAGED_PROFILE",
+    "NATIVE_PROFILE",
+]

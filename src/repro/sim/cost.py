@@ -1,0 +1,139 @@
+"""CPU cost model: converts decode/parse/decompress operations to seconds.
+
+Decoders, parsers and codecs call into a :class:`CpuCostModel` as they do
+their (real) byte-level work; the model charges the simulated Java (or
+C++) CPU time for each operation into the task's
+:class:`~repro.sim.metrics.Metrics`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.calibration import MANAGED_PROFILE, CostProfile
+from repro.sim.metrics import Metrics
+
+
+class CpuCostModel:
+    """Charges per-operation CPU seconds from a :class:`CostProfile`.
+
+    One instance is shared across the tasks of a job; it is stateless
+    apart from the profile, so sharing is safe.
+    """
+
+    def __init__(self, profile: CostProfile = MANAGED_PROFILE) -> None:
+        self.profile = profile
+
+    # -- primitives ---------------------------------------------------
+
+    def charge_raw_scan(self, metrics: Metrics, nbytes: int) -> None:
+        """Bytes streamed through a decoder without type interpretation."""
+        metrics.charge_cpu(nbytes * self.profile.raw_scan_per_byte)
+
+    def charge_int(self, metrics: Metrics) -> None:
+        metrics.charge_cpu(self.profile.int_decode)
+        metrics.cells += 1
+
+    def charge_long(self, metrics: Metrics) -> None:
+        metrics.charge_cpu(self.profile.long_decode)
+        metrics.cells += 1
+
+    def charge_double(self, metrics: Metrics) -> None:
+        metrics.charge_cpu(self.profile.double_decode)
+        metrics.cells += 1
+
+    def charge_bool(self, metrics: Metrics) -> None:
+        metrics.charge_cpu(self.profile.bool_decode)
+        metrics.cells += 1
+
+    def charge_string(self, metrics: Metrics, nbytes: int) -> None:
+        metrics.charge_cpu(
+            self.profile.string_decode_base
+            + nbytes * self.profile.string_decode_per_byte
+        )
+        metrics.cells += 1
+        metrics.objects += 1
+
+    def charge_bytes(self, metrics: Metrics, nbytes: int) -> None:
+        metrics.charge_cpu(
+            self.profile.bytes_decode_base
+            + nbytes * self.profile.bytes_decode_per_byte
+        )
+        metrics.cells += 1
+        metrics.objects += 1
+
+    # -- containers ---------------------------------------------------
+
+    def charge_map(self, metrics: Metrics, entries: int) -> None:
+        """Container overhead for a map; key/value datums charge separately."""
+        metrics.charge_cpu(
+            self.profile.map_decode_base + entries * self.profile.map_entry
+        )
+        metrics.objects += 1 + entries
+
+    def charge_array(self, metrics: Metrics, elements: int) -> None:
+        metrics.charge_cpu(
+            self.profile.array_decode_base
+            + elements * self.profile.array_element
+        )
+        metrics.objects += 1
+
+    def charge_record(self, metrics: Metrics) -> None:
+        metrics.charge_cpu(self.profile.record_decode_base)
+        metrics.objects += 1
+
+    # -- skipping / parsing / codecs -----------------------------------
+
+    def skip_discount(self, seconds: float) -> float:
+        """CPU cost of skipping work that would have cost ``seconds``."""
+        return seconds * self.profile.skip_fraction
+
+    def charge_text_parse(self, metrics: Metrics, nbytes: int) -> None:
+        metrics.charge_cpu(nbytes * self.profile.text_parse_per_byte)
+
+    def charge_inflate(self, metrics: Metrics, codec: str, out_bytes: int) -> None:
+        """Decompression cost, charged per *output* byte."""
+        per_byte = {
+            "zlib": self.profile.zlib_inflate_per_byte,
+            "lzo": self.profile.lzo_inflate_per_byte,
+        }[codec]
+        metrics.charge_cpu(out_bytes * per_byte)
+
+    def charge_deflate(self, metrics: Metrics, codec: str, in_bytes: int) -> None:
+        per_byte = {
+            "zlib": self.profile.zlib_deflate_per_byte,
+            "lzo": self.profile.lzo_deflate_per_byte,
+        }[codec]
+        metrics.charge_cpu(in_bytes * per_byte)
+
+    def charge_dictionary_lookup(self, metrics: Metrics, lookups: int = 1) -> None:
+        metrics.charge_cpu(lookups * self.profile.dictionary_lookup)
+
+    def charge_block_inflate_setup(self, metrics: Metrics) -> None:
+        """Fixed codec/buffer initialization per compressed block."""
+        metrics.charge_cpu(self.profile.block_inflate_setup)
+
+    # -- format-specific -----------------------------------------------
+
+    def charge_rcfile_fields(self, metrics: Metrics, fields: int) -> None:
+        """Per-field writable materialization overhead in RCFile."""
+        metrics.charge_cpu(fields * self.profile.rcfile_field_overhead)
+
+    def charge_rcfile_rowgroup(self, metrics: Metrics, length_entries: int) -> None:
+        """Parsing one row group's metadata region.
+
+        ``length_entries`` is rows x columns — every value length in the
+        key buffer is decoded regardless of the projection.
+        """
+        metrics.charge_cpu(
+            self.profile.rcfile_rowgroup_parse
+            + length_entries * self.profile.rcfile_length_entry
+        )
+
+    # -- user code ------------------------------------------------------
+
+    def charge_predicate(self, metrics: Metrics, nbytes: int) -> None:
+        """A string-matching predicate over ``nbytes`` of input."""
+        metrics.charge_cpu(nbytes * self.profile.predicate_per_byte)
+
+    def charge_map_invoke(self, metrics: Metrics) -> None:
+        """Fixed overhead of one map() call."""
+        metrics.charge_cpu(self.profile.map_invoke)

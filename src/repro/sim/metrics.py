@@ -1,0 +1,86 @@
+"""Per-task and per-job metric accumulation.
+
+A single :class:`Metrics` instance rides along with each map/reduce task
+(inside the task context).  Streams charge I/O into it, decoders charge
+CPU into it, and the job runner aggregates task metrics into the numbers
+the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Metrics:
+    """Accumulated simulated costs and byte counters for one task or job.
+
+    Attributes
+    ----------
+    disk_bytes:
+        Bytes actually fetched from local disk, at readahead granularity.
+        This is what Table 1's "Data Read" column counts.
+    net_bytes:
+        Bytes fetched over the network (remote block reads + shuffle).
+    requested_bytes:
+        Bytes the reader *asked* for; ``disk_bytes - requested_bytes`` is
+        readahead waste (the mechanism that hurts RCFile's column
+        skipping).
+    seeks:
+        Disk seeks issued (file opens, skips beyond the readahead buffer).
+    io_time / cpu_time:
+        Simulated seconds.  Hadoop 0.21 map tasks read and deserialize
+        synchronously in the mapper thread, so a task's runtime is
+        modelled as ``io_time + cpu_time``.
+    records / cells / objects:
+        Records materialized, datums decoded, objects created — used by
+        the deserialization experiments (Figure 8, Figure 10).
+    """
+
+    disk_bytes: int = 0
+    net_bytes: int = 0
+    requested_bytes: int = 0
+    seeks: int = 0
+    io_time: float = 0.0
+    cpu_time: float = 0.0
+    records: int = 0
+    cells: int = 0
+    objects: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_bytes_read(self) -> int:
+        """All bytes that crossed a disk or the network."""
+        return self.disk_bytes + self.net_bytes
+
+    @property
+    def task_time(self) -> float:
+        """Simulated task runtime (serial read/deserialize/map loop)."""
+        return self.io_time + self.cpu_time
+
+    def charge_cpu(self, seconds: float) -> None:
+        self.cpu_time += seconds
+
+    def charge_io(self, seconds: float) -> None:
+        self.io_time += seconds
+
+    def add(self, other: "Metrics") -> None:
+        """Fold another task's metrics into this aggregate."""
+        for f in fields(self):
+            if f.name == "extra":
+                for key, value in other.extra.items():
+                    self.extra[key] = self.extra.get(key, 0) + value
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "Metrics":
+        out = Metrics()
+        out.add(self)
+        return out
+
+    def reset(self) -> None:
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra.clear()
+            else:
+                setattr(self, f.name, type(getattr(self, f.name))())

@@ -1,0 +1,29 @@
+"""Low-level utilities shared by the serialization and storage layers.
+
+This package provides the primitives every on-disk format in the
+reproduction is built from:
+
+- variable-length integer codecs (:mod:`repro.util.varint`), matching the
+  zig-zag/LEB128 encoding used by Avro and Hadoop writables, and
+- growable write buffers plus positioned read buffers
+  (:mod:`repro.util.buffers`).
+"""
+
+from repro.util.buffers import ByteReader, ByteWriter
+from repro.util.varint import (
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    varint_size,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "decode_varint",
+    "decode_zigzag",
+    "encode_varint",
+    "encode_zigzag",
+    "varint_size",
+]

@@ -1,0 +1,38 @@
+"""Workload generators and the paper's MapReduce jobs.
+
+The paper evaluates on two datasets we cannot have — a 57 GB synthetic
+dataset (Section 6.2) and a 6.4 TB Nutch intranet crawl (Section 6.3) —
+so this package generates seeded, scale-controlled equivalents with the
+same schema shapes, column-size distributions and predicate
+selectivities:
+
+- :mod:`repro.workloads.micro` — the microbenchmark records (6 strings,
+  6 integers, one 10-entry map),
+- :mod:`repro.workloads.crawl` — Figure 2's ``URLInfo`` records with a
+  tunable-selectivity ``ibm.com/jp`` predicate and multi-KB content,
+- :mod:`repro.workloads.wide` — the 20/40/80-column datasets of
+  Appendix B.5,
+- :mod:`repro.workloads.jobs` — the map/reduce functions the paper
+  runs: the distinct content-type job (Figure 1) and the selectivity
+  aggregation of Appendix B.4.
+"""
+
+from repro.workloads.crawl import (
+    CRAWL_PREDICATE,
+    compress_content_column,
+    crawl_records,
+    crawl_schema,
+)
+from repro.workloads.micro import micro_records, micro_schema
+from repro.workloads.wide import wide_records, wide_schema
+
+__all__ = [
+    "CRAWL_PREDICATE",
+    "compress_content_column",
+    "crawl_records",
+    "crawl_schema",
+    "micro_records",
+    "micro_schema",
+    "wide_records",
+    "wide_schema",
+]

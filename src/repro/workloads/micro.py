@@ -1,0 +1,52 @@
+"""The Section 6.2 microbenchmark dataset.
+
+"Each record consisted of 6 strings, 6 integers, and a map.  The
+integers were randomly assigned values between 1 and 10000.  Random
+strings of length between 20 and 40 were generated over readable ASCII
+characters.  Each map column consisted of 10 items, where the keys were
+random strings of length 4, and the values were randomly chosen
+integers."
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Iterator, List
+
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+
+_READABLE = string.ascii_letters + string.digits + " .,;:-_/"
+
+STRING_COLUMNS = [f"str{i}" for i in range(6)]
+INT_COLUMNS = [f"int{i}" for i in range(6)]
+MAP_COLUMN = "attrs"
+
+
+def micro_schema() -> Schema:
+    fields = [(name, Schema.string()) for name in STRING_COLUMNS]
+    fields += [(name, Schema.int_()) for name in INT_COLUMNS]
+    fields.append((MAP_COLUMN, Schema.map(Schema.int_())))
+    return Schema.record("micro", fields)
+
+
+def _random_string(rng: random.Random, lo: int, hi: int) -> str:
+    return "".join(rng.choices(_READABLE, k=rng.randint(lo, hi)))
+
+
+def micro_records(n: int, seed: int = 62) -> Iterator[Record]:
+    """Yield ``n`` deterministic microbenchmark records."""
+    schema = micro_schema()
+    rng = random.Random(seed)
+    # A limited key universe of 4-char keys, as a real map column has.
+    key_universe = [_random_string(rng, 4, 4) for _ in range(64)]
+    for _ in range(n):
+        record = Record(schema)
+        for name in STRING_COLUMNS:
+            record.put(name, _random_string(rng, 20, 40))
+        for name in INT_COLUMNS:
+            record.put(name, rng.randint(1, 10000))
+        keys: List[str] = rng.sample(key_universe, 10)
+        record.put(MAP_COLUMN, {k: rng.randint(1, 10000) for k in keys})
+        yield record

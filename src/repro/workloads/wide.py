@@ -1,0 +1,38 @@
+"""Wide-record datasets for Appendix B.5 (Figure 11).
+
+"We generated three datasets with 20, 40, and 80 columns per record.
+Each column contained a random string of length 30."
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Iterator, List
+
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+
+_ALPHABET = string.ascii_letters + string.digits
+
+
+def column_names(num_columns: int) -> List[str]:
+    return [f"c{i:03d}" for i in range(num_columns)]
+
+
+def wide_schema(num_columns: int) -> Schema:
+    return Schema.record(
+        f"wide{num_columns}",
+        [(name, Schema.string()) for name in column_names(num_columns)],
+    )
+
+
+def wide_records(num_columns: int, n: int, seed: int = 411) -> Iterator[Record]:
+    schema = wide_schema(num_columns)
+    rng = random.Random(seed + num_columns)
+    names = column_names(num_columns)
+    for _ in range(n):
+        record = Record(schema)
+        for name in names:
+            record.put(name, "".join(rng.choices(_ALPHABET, k=30)))
+        yield record

@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart rendering used by the figure experiments."""
+
+import pytest
+
+from repro.bench.ascii_plot import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            {"up": {0: 0, 1: 10}, "down": {0: 10, 1: 0}},
+            title="t", x_label="x", y_label="y",
+        )
+        assert "t" in chart and "y" in chart
+        assert "* up" in chart and "o down" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_monotone_series_orientation(self):
+        # The max of an increasing series must land on a higher grid row
+        # (earlier line) than its min.
+        chart = line_chart({"s": {0: 0, 10: 100}}, height=10, width=30)
+        rows = chart.splitlines()
+        star_rows = [i for i, line in enumerate(rows) if "*" in line]
+        first, last = star_rows[0], star_rows[-1]
+        assert rows[first].rstrip().endswith("*")  # high value at right
+        assert rows[last].index("*") < rows[first].rindex("*")
+
+    def test_axis_labels_present(self):
+        chart = line_chart({"s": {0.0: 1.0, 0.5: 2.0, 1.0: 3.0}})
+        assert "0" in chart and "1" in chart and "3" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"flat": {0: 5.0, 1: 5.0}})
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"p": {1.0: 2.0}})
+        assert "*" in chart
+
+
+class TestBarChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_longest_bar_for_peak(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = {l.split()[0]: l.count("#") for l in chart.splitlines()}
+        assert lines["big"] > lines["small"] >= 1
+
+    def test_unit_suffix(self):
+        chart = bar_chart({"a": 2.0}, unit=" s")
+        assert "2 s" in chart
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = next(l for l in chart.splitlines() if l.startswith("zero"))
+        assert "#" not in zero_line
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        chart = grouped_bar_chart(
+            {"g1": {"a": 1.0, "b": 2.0}, "g2": {"a": 3.0}},
+            title="grouped",
+        )
+        assert "grouped" in chart
+        assert "g1:" in chart and "g2:" in chart
+        assert chart.count("|") == 3
+
+    def test_scale_shared_across_groups(self):
+        chart = grouped_bar_chart(
+            {"g1": {"x": 10.0}, "g2": {"x": 1.0}}, width=20
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("#") > lines[1].count("#")

@@ -1,0 +1,114 @@
+"""Tests for the co-location-preserving balancer."""
+
+import pytest
+
+from repro.core import write_dataset
+from repro.core.cof import split_dirs_of
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.hdfs.balancer import ColumnAwareBalancer, imbalance, node_loads
+from tests.conftest import micro_records, micro_schema
+
+
+def skewed_fs(num_nodes=6, datasets=3):
+    """A cluster whose CPP placements all collapsed onto node 0."""
+    fs = FileSystem(ClusterConfig(num_nodes=num_nodes, block_size=16 * 1024))
+    policy = fs.use_column_placement()
+    schema = micro_schema()
+    dataset_paths = []
+    for d in range(datasets):
+        path = f"/data/d{d}"
+        write_dataset(fs, path, schema, micro_records(schema, 200, seed=d),
+                      split_bytes=16 * 1024)
+        dataset_paths.append(path)
+    # Manufacture the skew: re-pin every split-directory onto nodes 0-2,
+    # mapping each replica onto a hot node it does not already use.
+    hot = [0, 1, 2]
+    balancer = ColumnAwareBalancer(fs)
+    for path in dataset_paths:
+        for split_dir in split_dirs_of(fs, path):
+            current = sorted(balancer._directory_replicas()[split_dir])
+            free_hot = [h for h in hot if h not in current]
+            for node in current:
+                if node not in hot:
+                    balancer._move_directory(split_dir, node, free_hot.pop(0))
+            final = sorted(balancer._directory_replicas()[split_dir])
+            assert set(final) <= set(hot)
+            policy._pinned[split_dir] = final
+    return fs
+
+
+def colocation_sets(fs, dataset):
+    sets = []
+    for split_dir in split_dirs_of(fs, dataset):
+        placements = {
+            tuple(sorted(locs))
+            for child in fs.listdir(split_dir)
+            for locs in fs.block_locations(f"{split_dir}/{child}")
+        }
+        sets.append(placements)
+    return sets
+
+
+class TestLoadAccounting:
+    def test_node_loads_sum_to_replica_bytes(self):
+        fs = FileSystem(ClusterConfig(num_nodes=4, block_size=1024))
+        fs.write_file("/f", b"x" * 5000)
+        loads = node_loads(fs)
+        assert sum(loads.values()) == 5000 * 3  # 3 replicas
+
+    def test_imbalance_of_even_load(self):
+        assert imbalance({0: 10, 1: 10}) == pytest.approx(1.0)
+        assert imbalance({0: 30, 1: 10}) == pytest.approx(1.5)
+        assert imbalance({}) == 1.0
+        assert imbalance({0: 0, 1: 0}) == 1.0
+
+
+class TestRebalance:
+    def test_reduces_imbalance(self):
+        fs = skewed_fs()
+        before = imbalance(node_loads(fs))
+        assert before > 1.5  # genuinely skewed setup
+        report = ColumnAwareBalancer(fs).rebalance(target_imbalance=1.3)
+        assert report.moves > 0
+        assert report.imbalance_after < before
+        assert report.imbalance_after <= 1.5
+
+    def test_preserves_colocation(self):
+        fs = skewed_fs()
+        ColumnAwareBalancer(fs).rebalance(target_imbalance=1.2)
+        for d in range(3):
+            for placements in colocation_sets(fs, f"/data/d{d}"):
+                assert len(placements) == 1  # still one replica set per dir
+
+    def test_updates_policy_pins(self):
+        fs = skewed_fs()
+        report = ColumnAwareBalancer(fs).rebalance(target_imbalance=1.2)
+        policy = fs.placement
+        for split_dir in report.moved_directories:
+            pinned = policy.pinned_nodes(split_dir)
+            per_node = ColumnAwareBalancer(fs)._directory_replicas()[split_dir]
+            assert set(pinned) == set(per_node)
+
+    def test_balanced_cluster_is_noop(self):
+        fs = FileSystem(ClusterConfig(num_nodes=8, block_size=16 * 1024))
+        fs.use_column_placement()
+        schema = micro_schema()
+        write_dataset(fs, "/data/d", schema, micro_records(schema, 300),
+                      split_bytes=16 * 1024)
+        report = ColumnAwareBalancer(fs).rebalance(target_imbalance=2.0)
+        assert report.moves == 0
+
+    def test_data_still_readable_after_rebalance(self):
+        fs = skewed_fs(datasets=1)
+        expected = [r.to_dict() for r in micro_records(micro_schema(), 200, seed=0)]
+        ColumnAwareBalancer(fs).rebalance(target_imbalance=1.2)
+        from repro.core import ColumnInputFormat
+        from tests.conftest import make_ctx
+
+        fmt = ColumnInputFormat("/data/d0", lazy=False)
+        out = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            out.extend(
+                r.to_dict() for _, r in fmt.open_reader(fs, split, make_ctx())
+            )
+        assert out == expected

@@ -1,0 +1,120 @@
+"""Smoke tests: every experiment runs at tiny scale and renders output.
+
+The full-scale shape assertions live in ``benchmarks/``; these only
+check that each experiment is runnable, deterministic, and produces the
+rows the paper's table/figure needs.
+"""
+
+import pytest
+
+from repro.bench import (
+    addcolumn_ablation,
+    colocation,
+    fig7_microbenchmark,
+    fig8_deserialization,
+    fig9_rowgroups,
+    fig10_selectivity,
+    fig11_wide_records,
+    table1_crawl,
+    table2_load_times,
+)
+
+
+class TestFig7:
+    def test_tiny_run(self):
+        result = fig7_microbenchmark.run(records=400)
+        assert set(result.times) == {
+            "TXT", "SEQ", "CIF", "RCFile", "RCFile-comp"
+        }
+        for projection in fig7_microbenchmark.PROJECTIONS:
+            assert result.times["CIF"][projection] > 0
+        text = fig7_microbenchmark.format_table(result)
+        assert "Figure 7" in text and "CIF" in text
+        assert "Figure 7" in fig7_microbenchmark.format_chart(result)
+
+    def test_deterministic(self):
+        a = fig7_microbenchmark.run(records=150)
+        b = fig7_microbenchmark.run(records=150)
+        assert a.times == b.times
+        assert a.bytes_read == b.bytes_read
+
+
+class TestFig8:
+    def test_tiny_run(self):
+        result = fig8_deserialization.run(records=10)
+        assert set(result.bandwidth) == {"managed", "native"}
+        table = fig8_deserialization.format_table(result)
+        assert "managed integers" in table
+        assert "MB/s" in fig8_deserialization.format_chart(result)
+
+
+class TestFig9:
+    def test_tiny_run(self):
+        result = fig9_rowgroups.run(records=600)
+        assert "CIF" in result.times
+        assert all(label in result.times for label in fig9_rowgroups.ROW_GROUPS)
+        assert "Bytes read" in fig9_rowgroups.format_table(result)
+
+
+class TestFig10:
+    def test_tiny_run(self):
+        result = fig10_selectivity.run(records=500)
+        assert set(result.times) == {"CIF", "CIF-SL"}
+        # Both layouts computed identical sums at every selectivity
+        # (run() itself raises otherwise); they must be present.
+        assert set(result.sums) == set(fig10_selectivity.SELECTIVITIES)
+        assert "selectivity" in fig10_selectivity.format_chart(result)
+
+
+class TestFig11:
+    def test_tiny_run(self):
+        result = fig11_wide_records.run(total_bytes=400_000)
+        assert set(result.bandwidth) == set(fig11_wide_records.SERIES)
+        for series in result.bandwidth.values():
+            assert set(series) == set(fig11_wide_records.WIDTHS)
+
+
+class TestTable1:
+    def test_subset_run(self):
+        result = table1_crawl.run(
+            records=80,
+            content_bytes=2048,
+            layouts=["SEQ-custom", "CIF", "CIF-DCSL"],
+        )
+        assert [r.layout for r in result.rows] == [
+            "SEQ-custom", "CIF", "CIF-DCSL"
+        ]
+        assert result.row("SEQ-custom").map_ratio == pytest.approx(1.0)
+        assert result.row("CIF").map_ratio > 1.0
+        assert "Table 1" in table1_crawl.format_table(result)
+
+    def test_outputs_agree_across_layouts(self):
+        result = table1_crawl.run(
+            records=60, content_bytes=1024,
+            layouts=["SEQ-uncomp", "CIF-SL"],
+        )
+        a = sorted(k for k, _ in result.results["SEQ-uncomp"].output)
+        b = sorted(k for k, _ in result.results["CIF-SL"].output)
+        assert a == b
+
+
+class TestTable2:
+    def test_tiny_run(self):
+        result = table2_load_times.run(records=500)
+        assert set(result.load_times) == set(table2_load_times.LAYOUTS)
+        assert all(t > 0 for t in result.load_times.values())
+
+
+class TestColocation:
+    def test_tiny_run(self):
+        result = colocation.run(records=60, content_bytes=1024)
+        assert result.local_fraction_cpp == 1.0
+        assert result.map_time_cpp > 0
+        assert "co-location" in colocation.format_table(result)
+
+
+class TestAddColumn:
+    def test_tiny_run(self):
+        result = addcolumn_ablation.run(records=400)
+        assert result.rcfile_bytes > result.cif_bytes
+        assert "RCFile" in addcolumn_ablation.format_table(result)

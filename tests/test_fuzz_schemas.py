@@ -1,0 +1,166 @@
+"""Fuzzing: random schemas + conforming records through every layer.
+
+Hypothesis generates arbitrary record schemas (primitives, arrays,
+maps, nested records) and conforming values, then asserts exact
+round-trips through the binary codec, the text codec (flat schemas),
+SequenceFiles, and CIF datasets with randomly chosen column layouts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnInputFormat, ColumnSpec, write_dataset
+from repro.core.columnio import ColumnSpec as Spec
+from repro.formats.sequence_file import SequenceFileInputFormat, write_sequence_file
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.serde.binary import decode_datum, encode_datum
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from tests.conftest import make_ctx
+
+# -- schema + value strategies ------------------------------------------
+
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12
+)
+
+_primitive_kinds = st.sampled_from(
+    ["int", "long", "double", "boolean", "string", "bytes", "time"]
+)
+
+
+def _schema_strategy(depth: int = 2):
+    if depth == 0:
+        return _primitive_kinds.map(Schema)
+    inner = _schema_strategy(depth - 1)
+    return st.one_of(
+        _primitive_kinds.map(Schema),
+        inner.map(Schema.array),
+        inner.map(Schema.map),
+        st.lists(inner, min_size=1, max_size=3).map(
+            lambda schemas: Schema.record(
+                "nested",
+                [(f"f{i}", s) for i, s in enumerate(schemas)],
+            )
+        ),
+    )
+
+
+def record_schema_strategy(max_fields: int = 5):
+    return st.lists(
+        _schema_strategy(), min_size=1, max_size=max_fields
+    ).map(
+        lambda schemas: Schema.record(
+            "fuzz", [(f"c{i}", s) for i, s in enumerate(schemas)]
+        )
+    )
+
+
+def value_for(schema: Schema, draw):
+    kind = schema.kind
+    if kind in ("int", "long", "time"):
+        return draw(st.integers(min_value=-(2**40), max_value=2**40))
+    if kind == "double":
+        return draw(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32).map(float))
+    if kind == "boolean":
+        return draw(st.booleans())
+    if kind == "string":
+        return draw(_text)
+    if kind == "bytes":
+        return draw(st.binary(max_size=16))
+    if kind == "array":
+        return [value_for(schema.items, draw)
+                for _ in range(draw(st.integers(0, 3)))]
+    if kind == "map":
+        return {
+            draw(_text): value_for(schema.values, draw)
+            for _ in range(draw(st.integers(0, 3)))
+        }
+    record = Record(schema)
+    for field in schema.fields:
+        record.put(field.name, value_for(field.schema, draw))
+    return record
+
+
+_SPEC_CHOICES = [
+    Spec("plain"),
+    Spec("skiplist", skip_sizes=(20, 5)),
+    Spec("cblock", codec="lzo", block_bytes=256),
+]
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestBinaryFuzz:
+    @FUZZ_SETTINGS
+    @given(data=st.data(), schema=record_schema_strategy())
+    def test_binary_roundtrip(self, data, schema):
+        record = value_for(schema, data.draw)
+        assert decode_datum(schema, encode_datum(schema, record)) == record
+
+    @FUZZ_SETTINGS
+    @given(data=st.data(), schema=record_schema_strategy(max_fields=3))
+    def test_skip_lands_on_next_record(self, data, schema):
+        from repro.serde.binary import BinaryDecoder, BinaryEncoder
+        from repro.util.buffers import ByteReader
+
+        first = value_for(schema, data.draw)
+        second = value_for(schema, data.draw)
+        enc = BinaryEncoder()
+        enc.write_datum(schema, first)
+        enc.write_datum(schema, second)
+        dec = BinaryDecoder(ByteReader(enc.getvalue()))
+        dec.skip_datum(schema)
+        assert dec.read_datum(schema) == second
+
+
+class TestFormatFuzz:
+    @FUZZ_SETTINGS
+    @given(
+        data=st.data(),
+        schema=record_schema_strategy(max_fields=4),
+        n=st.integers(min_value=1, max_value=25),
+    )
+    def test_sequence_file_roundtrip(self, data, schema, n):
+        fs = FileSystem(ClusterConfig(num_nodes=2, block_size=4096,
+                                      io_buffer_size=512))
+        records = [value_for(schema, data.draw) for _ in range(n)]
+        write_sequence_file(fs, "/fz/seq", schema, records,
+                            sync_interval=300)
+        fmt = SequenceFileInputFormat("/fz/seq")
+        out = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            out.extend(r for _, r in fmt.open_reader(fs, split, make_ctx()))
+        assert out == records
+
+    @FUZZ_SETTINGS
+    @given(
+        data=st.data(),
+        schema=record_schema_strategy(max_fields=4),
+        n=st.integers(min_value=1, max_value=25),
+        spec_index=st.integers(min_value=0, max_value=len(_SPEC_CHOICES) - 1),
+    )
+    def test_cif_roundtrip_random_layout(self, data, schema, n, spec_index):
+        fs = FileSystem(ClusterConfig(num_nodes=2, block_size=8192,
+                                      io_buffer_size=512))
+        records = [value_for(schema, data.draw) for _ in range(n)]
+        write_dataset(
+            fs, "/fz/cif", schema, records,
+            default_spec=_SPEC_CHOICES[spec_index],
+            split_bytes=2048,
+        )
+        fmt = ColumnInputFormat("/fz/cif", lazy=data.draw(st.booleans()))
+        out = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            for _, record in fmt.open_reader(fs, split, make_ctx()):
+                out.append(record.to_dict())
+        assert out == [
+            r.to_dict() if isinstance(r, Record) else r for r in records
+        ]

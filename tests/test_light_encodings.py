@@ -1,0 +1,156 @@
+"""Tests for the RLE and delta column encodings (Section 3.3 extensions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnInputFormat, ColumnSpec, write_dataset
+from repro.core.columnio import encode_column_file
+from repro.serde.record import Record
+from repro.serde.schema import Schema, SchemaError
+from tests.conftest import make_ctx
+from tests.test_columnio import make_reader
+
+
+class TestRle:
+    def test_roundtrip_runs(self):
+        values = [1] * 50 + [2] * 3 + [1] * 10 + [7]
+        payload = encode_column_file(Schema.int_(), values, ColumnSpec("rle"))
+        reader, _ = make_reader(payload, Schema.int_())
+        assert [reader.read_value() for _ in values] == values
+
+    def test_roundtrip_strings(self):
+        values = ["a"] * 20 + ["bb"] * 5 + ["a"] * 2
+        payload = encode_column_file(Schema.string(), values, ColumnSpec("rle"))
+        reader, _ = make_reader(payload, Schema.string())
+        assert [reader.read_value() for _ in values] == values
+
+    def test_compresses_low_cardinality(self):
+        values = ["fast"] * 900 + ["slow"] * 100
+        plain = encode_column_file(Schema.string(), values, ColumnSpec("plain"))
+        rle = encode_column_file(Schema.string(), values, ColumnSpec("rle"))
+        assert len(rle) < len(plain) / 50
+
+    def test_skip_whole_runs_cheap(self):
+        values = ["x" * 100] * 2000
+        payload = encode_column_file(Schema.string(), values, ColumnSpec("rle"))
+        reader, ctx = make_reader(payload, Schema.string())
+        reader.skip(1999)
+        assert reader.read_value() == "x" * 100
+        # One run header + one value decode in total.
+        assert ctx.metrics.cells <= 2
+
+    def test_skip_partial_run(self):
+        values = [5] * 10 + [6] * 10
+        payload = encode_column_file(Schema.int_(), values, ColumnSpec("rle"))
+        reader, _ = make_reader(payload, Schema.int_())
+        reader.skip(7)
+        assert reader.read_value() == 5
+        reader.skip(5)
+        assert reader.read_value() == 6
+
+    def test_empty(self):
+        payload = encode_column_file(Schema.int_(), [], ColumnSpec("rle"))
+        reader, _ = make_reader(payload, Schema.int_())
+        assert reader.count == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=200))
+    def test_roundtrip_property(self, values):
+        payload = encode_column_file(Schema.int_(), values, ColumnSpec("rle"))
+        reader, _ = make_reader(payload, Schema.int_())
+        assert [reader.read_value() for _ in values] == values
+
+
+class TestDelta:
+    def test_roundtrip_monotonic(self):
+        values = [1_293_840_000 + i * 37 for i in range(500)]
+        payload = encode_column_file(Schema.time(), values, ColumnSpec("delta"))
+        reader, _ = make_reader(payload, Schema.time())
+        assert [reader.read_value() for _ in values] == values
+
+    def test_roundtrip_non_monotonic(self):
+        values = [10, 3, -5, 3, 100, 99]
+        payload = encode_column_file(Schema.int_(), values, ColumnSpec("delta"))
+        reader, _ = make_reader(payload, Schema.int_())
+        assert [reader.read_value() for _ in values] == values
+
+    def test_smaller_than_plain_for_timestamps(self):
+        values = [1_293_840_000 + i * 37 for i in range(2000)]
+        plain = encode_column_file(Schema.time(), values, ColumnSpec("plain"))
+        delta = encode_column_file(Schema.time(), values, ColumnSpec("delta"))
+        assert len(delta) < len(plain) / 2
+
+    def test_skip_preserves_cumulative_state(self):
+        values = [i * i for i in range(300)]
+        payload = encode_column_file(Schema.int_(), values, ColumnSpec("delta"))
+        reader, _ = make_reader(payload, Schema.int_())
+        reader.skip(250)
+        assert reader.read_value() == 250 * 250
+
+    def test_requires_integer_kind(self):
+        with pytest.raises(SchemaError):
+            encode_column_file(Schema.string(), ["a"], ColumnSpec("delta"))
+        with pytest.raises(SchemaError):
+            encode_column_file(Schema.double(), [1.0], ColumnSpec("delta"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40),
+                    max_size=150))
+    def test_roundtrip_property(self, values):
+        payload = encode_column_file(Schema.long_(), values, ColumnSpec("delta"))
+        reader, _ = make_reader(payload, Schema.long_())
+        assert [reader.read_value() for _ in values] == values
+
+
+class TestThroughCif:
+    def test_dataset_with_mixed_encodings(self, fs):
+        schema = Schema.record(
+            "Event",
+            [
+                ("ts", Schema.time()),
+                ("level", Schema.string()),
+                ("message", Schema.string()),
+            ],
+        )
+        records = [
+            Record(schema, {
+                "ts": 1_000_000 + i * 13,
+                "level": "INFO" if i % 10 else "ERROR",
+                "message": f"event number {i}",
+            })
+            for i in range(400)
+        ]
+        write_dataset(
+            fs, "/enc/d", schema, records,
+            specs={"ts": ColumnSpec("delta"), "level": ColumnSpec("rle")},
+        )
+        fmt = ColumnInputFormat("/enc/d", lazy=False)
+        out = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            out.extend(
+                r.to_dict() for _, r in fmt.open_reader(fs, split, make_ctx())
+            )
+        assert out == [r.to_dict() for r in records]
+
+    def test_lazy_access_over_encoded_columns(self, fs):
+        schema = Schema.record(
+            "Event", [("ts", Schema.time()), ("level", Schema.string())]
+        )
+        records = [
+            Record(schema, {"ts": i * 5, "level": "A" if i < 150 else "B"})
+            for i in range(300)
+        ]
+        write_dataset(
+            fs, "/enc/lazy", schema, records,
+            specs={"ts": ColumnSpec("delta"), "level": ColumnSpec("rle")},
+        )
+        fmt = ColumnInputFormat("/enc/lazy", lazy=True)
+        picked = {}
+        for split in fmt.get_splits(fs, fs.cluster):
+            for i, (_, record) in enumerate(fmt.open_reader(fs, split, make_ctx())):
+                if i in (0, 149, 150, 299):
+                    picked[i] = (record.get("ts"), record.get("level"))
+        assert picked == {
+            0: (0, "A"), 149: (745, "A"), 150: (750, "B"), 299: (1495, "B")
+        }

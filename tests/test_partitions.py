@@ -1,0 +1,119 @@
+"""Tests for partitioned datasets (Figure 4's daily-arrival layout)."""
+
+import pytest
+
+from repro.core.partitions import PartitionedDataset
+from repro.core.stats import RangePredicate
+from repro.mapreduce import Job, run_job
+from tests.conftest import make_ctx, micro_records, micro_schema
+
+DAYS = ["2011-01-01", "2011-01-02", "2011-01-03"]
+
+
+@pytest.fixture
+def daily(fs):
+    schema = micro_schema()
+    dataset = PartitionedDataset(fs, "/data/crawl")
+    per_day = {}
+    for i, day in enumerate(DAYS):
+        records = micro_records(schema, 60, seed=100 + i)
+        dataset.add_partition(day, schema, records, split_bytes=8 * 1024)
+        per_day[day] = records
+    return fs, dataset, per_day
+
+
+def read_all(fs, fmt):
+    out = []
+    for split in fmt.get_splits(fs, fs.cluster):
+        out.extend(
+            r.to_dict() for _, r in fmt.open_reader(fs, split, make_ctx())
+        )
+    return out
+
+
+class TestLayout:
+    def test_partitions_listed_sorted(self, daily):
+        _, dataset, _ = daily
+        assert dataset.partitions() == DAYS
+
+    def test_partition_layout_is_figure_4(self, daily):
+        fs, dataset, _ = daily
+        children = fs.listdir(dataset.path_of("2011-01-01"))
+        assert children[0] == "s0"
+        inside = fs.listdir("/data/crawl/2011-01-01/s0")
+        assert ".schema" in inside and "attrs" in inside
+
+    def test_duplicate_partition_rejected(self, daily):
+        _, dataset, _ = daily
+        with pytest.raises(ValueError):
+            dataset.add_partition("2011-01-01", micro_schema(), [])
+
+    def test_nested_partition_name_rejected(self, daily):
+        _, dataset, _ = daily
+        with pytest.raises(ValueError):
+            dataset.add_partition("a/b", micro_schema(), [])
+
+    def test_drop_partition_retention(self, daily):
+        fs, dataset, _ = daily
+        dataset.drop_partition("2011-01-01")
+        assert dataset.partitions() == DAYS[1:]
+        assert not fs.exists("/data/crawl/2011-01-01")
+
+
+class TestReading:
+    def test_read_everything_in_order(self, daily):
+        fs, dataset, per_day = daily
+        out = read_all(fs, dataset.input_format(lazy=False))
+        expected = [
+            r.to_dict() for day in DAYS for r in per_day[day]
+        ]
+        assert out == expected
+
+    def test_partition_list_selection(self, daily):
+        fs, dataset, per_day = daily
+        fmt = dataset.input_format(partitions=["2011-01-02"], lazy=False)
+        out = read_all(fs, fmt)
+        assert out == [r.to_dict() for r in per_day["2011-01-02"]]
+        assert fmt.pruned_partitions == 2
+
+    def test_partition_predicate_selection(self, daily):
+        fs, dataset, per_day = daily
+        fmt = dataset.input_format(
+            partitions=lambda day: day >= "2011-01-02", lazy=False
+        )
+        out = read_all(fs, fmt)
+        assert len(out) == 120
+        assert fmt.pruned_partitions == 1
+
+    def test_unknown_partition_rejected(self, daily):
+        fs, dataset, _ = daily
+        fmt = dataset.input_format(partitions=["2011-02-30"])
+        with pytest.raises(ValueError):
+            fmt.get_splits(fs, fs.cluster)
+
+    def test_projection_and_zone_maps_apply_per_partition(self, daily):
+        fs, dataset, _ = daily
+        fmt = dataset.input_format(
+            columns=["int0"],
+            predicates=[RangePredicate("int0", ">", 10_000)],  # impossible
+        )
+        assert fmt.get_splits(fs, fs.cluster) == []
+
+    def test_runs_as_mapreduce_job(self, daily):
+        fs, dataset, per_day = daily
+
+        def mapper(key, record, emit, ctx):
+            emit(None, record.get("int0"))
+
+        fmt = dataset.input_format(columns=["int0"])
+        result = run_job(fs, Job("sum-days", mapper, fmt))
+        assert len(result.output) == 180
+        expected = sorted(
+            r.get("int0") for day in DAYS for r in per_day[day]
+        )
+        assert sorted(v for _, v in result.output) == expected
+
+    def test_empty_root(self, fs):
+        dataset = PartitionedDataset(fs, "/nothing/here")
+        assert dataset.partitions() == []
+        assert dataset.input_format().get_splits(fs, fs.cluster) == []

@@ -1,0 +1,86 @@
+"""Tests for the Section 4.3 parallelism planning helpers."""
+
+import pytest
+
+from repro.core.planning import (
+    ParallelismReport,
+    cif_parallelism,
+    cif_splits,
+    min_dataset_for_full_parallelism,
+    rcfile_min_dataset_for_full_parallelism,
+    rcfile_splits,
+    recommended_split_dir_bytes,
+)
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+class TestPaperExample:
+    def test_200_slots_10_columns_needs_128gb(self):
+        # Verbatim from Section 4.3.
+        needed = min_dataset_for_full_parallelism(
+            map_slots=200, num_columns=10, block_bytes=64 * MB
+        )
+        # 200 x 10 x 64 MB = 128 000 MB — "at least 128GB" in the paper.
+        assert needed == 200 * 10 * 64 * MB
+        assert needed / MB == 128_000
+
+    def test_rcfile_bound_much_smaller(self):
+        # RCFile (4 MB row groups, r=16 per 64 MB block) parallelizes on
+        # far smaller datasets — the trade-off the paper concedes.
+        rcfile = rcfile_min_dataset_for_full_parallelism(
+            map_slots=200, row_groups_per_block=16, block_bytes=64 * MB
+        )
+        cif = min_dataset_for_full_parallelism(200, 10, 64 * MB)
+        assert rcfile < cif / 100
+
+
+class TestSplitMath:
+    def test_cif_splits_ceil(self):
+        assert cif_splits(100, 64) == 2
+        assert cif_splits(64, 64) == 1
+        assert cif_splits(0, 64) == 0
+
+    def test_rcfile_splits(self):
+        assert rcfile_splits(10 * MB, 4 * MB) == 3
+        assert rcfile_splits(0, 4 * MB) == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            cif_splits(10, 0)
+        with pytest.raises(ValueError):
+            rcfile_splits(10, -1)
+        with pytest.raises(ValueError):
+            min_dataset_for_full_parallelism(0, 1, 1)
+
+
+class TestReport:
+    def test_fully_parallel_threshold(self):
+        assert cif_parallelism(240 * 64 * MB, 64 * MB, 240).fully_parallel
+        report = cif_parallelism(10 * 64 * MB, 64 * MB, 240)
+        assert not report.fully_parallel
+        assert report.utilization == pytest.approx(10 / 240)
+
+    def test_utilization_capped(self):
+        assert ParallelismReport(1000, 10).utilization == 1.0
+        assert ParallelismReport(5, 0).utilization == 0.0
+
+
+class TestRecommendation:
+    def test_bounded_by_block_size(self):
+        size = recommended_split_dir_bytes(
+            dataset_bytes=100_000 * GB, map_slots=240, block_bytes=64 * MB
+        )
+        assert size == 64 * MB
+
+    def test_small_dataset_gets_small_dirs(self):
+        size = recommended_split_dir_bytes(
+            dataset_bytes=100 * MB, map_slots=240, block_bytes=64 * MB
+        )
+        # Enough directories for every slot to get work.
+        assert (100 * MB) / size >= 100
+        assert size >= MB  # but not pathologically tiny
+
+    def test_empty_dataset(self):
+        assert recommended_split_dir_bytes(0, 240, 64 * MB) == 64 * MB

@@ -1,0 +1,244 @@
+"""Edge-case tests for the MapReduce runner and scheduler."""
+
+import pytest
+
+from repro.core import ColumnInputFormat, write_dataset
+from repro.formats.sequence_file import SequenceFileInputFormat, write_sequence_file
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.mapreduce import Job, run_job
+from repro.mapreduce.output import TextOutputFormat, render
+from repro.mapreduce.runner import estimate_pair_size
+from repro.mapreduce.scheduler import schedule_map_tasks
+from repro.mapreduce.types import InputSplit
+from repro.serde.schema import Schema
+from repro.sim.metrics import Metrics
+from tests.conftest import micro_records, micro_schema
+
+
+def passthrough(key, value, emit, ctx):
+    emit(value.get("int0") % 7, value.get("int0"))
+
+
+def sum_reducer(key, values, emit, ctx):
+    emit(key, sum(values))
+
+
+class TestEmptyInputs:
+    def test_empty_dataset_job(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/e/d", schema, [])
+        result = run_job(
+            fs, Job("empty", passthrough, ColumnInputFormat("/e/d"))
+        )
+        assert result.output == []
+        assert result.map_time == 0 or result.map_time >= 0
+        assert result.counters.get("map.records") == 0
+
+    def test_reducer_with_no_map_output(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 10))
+
+        def drop_all(key, value, emit, ctx):
+            pass
+
+        result = run_job(
+            fs,
+            Job("drop", drop_all, SequenceFileInputFormat("/e/s"),
+                reducer=sum_reducer, num_reducers=3),
+        )
+        assert result.output == []
+        assert result.counters.get("reduce.tasks") == 3
+
+
+class TestErrors:
+    def test_mapper_exception_propagates(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 5))
+
+        def broken(key, value, emit, ctx):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_job(fs, Job("broken", broken, SequenceFileInputFormat("/e/s")))
+
+    def test_reducer_exception_propagates(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 5))
+
+        def broken_reduce(key, values, emit, ctx):
+            raise ValueError("reduce boom")
+
+        with pytest.raises(ValueError, match="reduce boom"):
+            run_job(
+                fs,
+                Job("broken-r", passthrough, SequenceFileInputFormat("/e/s"),
+                    reducer=broken_reduce),
+            )
+
+
+class TestPartitioning:
+    def test_each_key_to_exactly_one_reducer(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 200))
+        result = run_job(
+            fs,
+            Job("part", passthrough, SequenceFileInputFormat("/e/s"),
+                reducer=sum_reducer, num_reducers=5),
+        )
+        keys = [k for k, _ in result.output]
+        assert sorted(keys) == sorted(set(keys))  # no key split/duplicated
+        assert set(keys) == set(range(7))
+
+    def test_heterogeneous_keys_sort(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 20))
+
+        def mixed_keys(key, value, emit, ctx):
+            emit(value.get("int0"), 1)
+            emit(value.get("str0"), 1)
+            emit(None, 1)
+
+        result = run_job(
+            fs,
+            Job("mixed", mixed_keys, SequenceFileInputFormat("/e/s"),
+                reducer=sum_reducer, num_reducers=2),
+        )
+        assert dict(result.output)[None] == 20
+
+
+class TestSchedulerWaves:
+    def test_more_splits_than_slots(self):
+        splits = [InputSplit(1, [0], f"s{i}") for i in range(25)]
+
+        def execute(split, node):
+            m = Metrics()
+            m.charge_io(1.0)
+            return m
+
+        tasks = schedule_map_tasks(splits, 2, 2, execute)
+        assert len(tasks) == 25
+        # 25 unit tasks on 4 slots: ~7 waves.
+        assert max(t.end for t in tasks) == pytest.approx(7.0)
+
+    def test_straggler_extends_makespan(self):
+        durations = {"slow": 10.0, **{f"s{i}": 1.0 for i in range(7)}}
+        splits = [InputSplit(1, [0], name) for name in durations]
+
+        def execute(split, node):
+            m = Metrics()
+            m.charge_io(durations[split.label])
+            return m
+
+        tasks = schedule_map_tasks(splits, 4, 1, execute)
+        assert max(t.end for t in tasks) >= 10.0
+
+    def test_zero_duration_tasks_terminate(self):
+        splits = [InputSplit(0, [0], f"z{i}") for i in range(10)]
+        tasks = schedule_map_tasks(splits, 1, 1, lambda s, n: Metrics())
+        assert len(tasks) == 10
+
+    def test_no_slots_runs_nothing(self):
+        splits = [InputSplit(1, [0], "s")]
+        tasks = schedule_map_tasks(splits, 0, 6, lambda s, n: Metrics())
+        assert tasks == []
+
+
+class TestOutputRendering:
+    def test_render_types(self):
+        assert render(None) == ""
+        assert render(b"bytes") == "bytes"
+        assert render(12) == "12"
+        assert render("s") == "s"
+
+    def test_text_output_none_key(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/e/s", schema, micro_records(schema, 3))
+
+        def emit_value_only(key, value, emit, ctx):
+            emit(None, value.get("int0"))
+
+        def identity_reduce(key, values, emit, ctx):
+            for v in values:
+                emit(key, v)
+
+        run_job(
+            fs,
+            Job("none-key", emit_value_only, SequenceFileInputFormat("/e/s"),
+                reducer=identity_reduce,
+                output_format=TextOutputFormat("/out")),
+        )
+        content = fs.read_file("/out/part-r-00000").decode()
+        assert len(content.splitlines()) == 3
+        assert "\t" not in content  # empty keys render value-only lines
+
+
+class TestShuffleSizing:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("key", 1),
+            (None, None),
+            ((1, "a"), [1, 2, 3]),
+            ({"k": "v"}, {1, 2}),
+            (b"bytes", 1.5),
+        ],
+    )
+    def test_estimator_positive(self, pair):
+        assert estimate_pair_size(*pair) > 0
+
+    def test_bigger_values_cost_more(self):
+        small = estimate_pair_size("k", "v")
+        big = estimate_pair_size("k", "v" * 1000)
+        assert big > small + 900
+
+
+class TestSchedulerProperties:
+    """Hypothesis invariants over random split/locality configurations."""
+
+    def test_random_configurations(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            num_nodes=st.integers(min_value=1, max_value=10),
+            slots=st.integers(min_value=1, max_value=4),
+            data=st.data(),
+        )
+        def check(num_nodes, slots, data):
+            n_splits = data.draw(st.integers(min_value=0, max_value=30))
+            splits = []
+            for i in range(n_splits):
+                locations = data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=num_nodes - 1),
+                        max_size=3, unique=True,
+                    )
+                )
+                splits.append(InputSplit(1, locations, f"s{i}"))
+            durations = {}
+
+            def execute(split, node):
+                m = Metrics()
+                local = node in split.locations
+                m.charge_io(1.0 if local else 3.0)
+                durations[split.label] = m.task_time
+                return m
+
+            tasks = schedule_map_tasks(splits, num_nodes, slots, execute)
+            # every split runs exactly once
+            assert sorted(t.split.label for t in tasks) == sorted(
+                s.label for s in splits
+            )
+            # slot capacity is never exceeded at any task start time
+            for t in tasks:
+                concurrent = sum(
+                    1 for u in tasks
+                    if u.node == t.node and u.start <= t.start < u.end
+                )
+                assert concurrent <= slots
+            # data_local flag is truthful
+            for t in tasks:
+                assert t.data_local == (t.node in t.split.locations)
+
+        check()

@@ -1,0 +1,166 @@
+"""Tests for schema defaults and declaration-only column addition."""
+
+import pytest
+
+from repro.core import (
+    ColumnInputFormat,
+    add_column,
+    declare_column,
+    write_dataset,
+)
+from repro.core.cof import read_dataset_schema, split_dirs_of
+from repro.serde.schema import Schema, SchemaError
+from tests.conftest import make_ctx, micro_records, micro_schema
+
+
+def read_all(fs, dataset, columns=None, lazy=False):
+    fmt = ColumnInputFormat(dataset, columns=columns, lazy=lazy)
+    out = []
+    for split in fmt.get_splits(fs, fs.cluster):
+        for _, record in fmt.open_reader(fs, split, make_ctx()):
+            out.append(record.to_dict())
+    return out
+
+
+class TestSchemaDefaults:
+    def test_default_survives_json_roundtrip(self):
+        schema = Schema.record(
+            "r",
+            [("x", Schema.int_()), ("tag", Schema.string(), "untagged")],
+        )
+        parsed = Schema.parse(schema.to_json())
+        assert parsed.field("tag").has_default
+        assert parsed.field("tag").default == "untagged"
+        assert not parsed.field("x").has_default
+
+    def test_with_field_default(self):
+        schema = micro_schema().with_field("rank", Schema.double(), default=0.0)
+        assert schema.field("rank").default == 0.0
+
+    def test_project_preserves_defaults(self):
+        schema = Schema.record(
+            "r", [("a", Schema.int_()), ("b", Schema.string(), "dflt")]
+        )
+        assert schema.project(["b"]).field("b").default == "dflt"
+
+    def test_fields_without_default_distinct_from_none_default(self):
+        with_none = Schema.record("r", [("a", Schema.string(), None)])
+        without = Schema.record("r", [("a", Schema.string())])
+        assert with_none.field("a").has_default
+        assert not without.field("a").has_default
+
+
+class TestDeclareColumn:
+    def test_declared_column_reads_default_everywhere(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 120)
+        write_dataset(fs, "/ev/d", schema, records, split_bytes=16 * 1024)
+        declare_column(fs, "/ev/d", "region", Schema.string(), default="eu")
+
+        out = read_all(fs, "/ev/d", columns=["str0", "region"])
+        assert all(row["region"] == "eu" for row in out)
+        assert [row["str0"] for row in out] == [r.get("str0") for r in records]
+
+    def test_no_data_files_written(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 60))
+        before = {
+            d: set(fs.listdir(d)) for d in split_dirs_of(fs, "/ev/d")
+        }
+        declare_column(fs, "/ev/d", "region", Schema.string(), default="eu")
+        after = {d: set(fs.listdir(d)) for d in split_dirs_of(fs, "/ev/d")}
+        assert before == after  # only .schema contents changed
+
+    def test_lazy_records_see_default(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 40))
+        declare_column(fs, "/ev/d", "flags", Schema.array(Schema.string()),
+                       default=[])
+        out = read_all(fs, "/ev/d", columns=["flags"], lazy=True)
+        assert out == [{"flags": []}] * 40
+
+    def test_container_defaults_not_aliased(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 3))
+        declare_column(fs, "/ev/d", "tags", Schema.map(Schema.int_()),
+                       default={})
+        fmt = ColumnInputFormat("/ev/d", columns=["tags"], lazy=False)
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        values = [r.get("tags") for _, r in fmt.open_reader(fs, split, make_ctx())]
+        values[0]["poison"] = 1
+        assert values[1] == {}  # each record got its own dict
+
+    def test_new_loads_materialize_new_column(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 30))
+        declare_column(fs, "/ev/d", "region", Schema.string(), default="eu")
+
+        # A later batch arrives, written under the evolved schema, into
+        # higher-numbered split-directories.
+        evolved = read_dataset_schema(fs, "/ev/d")
+        from repro.serde.record import Record
+        from repro.core.cof import ColumnOutputFormat
+
+        batch = []
+        for record in micro_records(schema, 20, seed=9):
+            row = record.to_dict()
+            row["region"] = "ap"
+            batch.append(Record(evolved, row))
+        cof = ColumnOutputFormat(evolved)
+        cof.write(fs, "/ev/d", batch, first_split_index=1000)
+
+        out = read_all(fs, "/ev/d", columns=["region"])
+        assert out[:30] == [{"region": "eu"}] * 30   # defaulted old data
+        assert out[30:] == [{"region": "ap"}] * 20   # materialized new data
+
+    def test_missing_column_without_default_raises(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 10))
+        # Declare with no default by rewriting schemas directly.
+        evolved = read_dataset_schema(fs, "/ev/d").with_field(
+            "nodefault", Schema.int_()
+        )
+        for split_dir in split_dirs_of(fs, "/ev/d"):
+            with fs.create(f"{split_dir}/.schema", overwrite=True) as out:
+                out.write(evolved.to_json().encode())
+        fmt = ColumnInputFormat("/ev/d", columns=["nodefault"])
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        with pytest.raises(ValueError, match="no default"):
+            list(fmt.open_reader(fs, split, make_ctx()))
+
+    def test_backfill_takes_precedence(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 25))
+        declare_column(fs, "/ev/d", "score", Schema.int_(), default=-1)
+        # Backfill the real values afterwards (add_column writes files).
+        from repro.core.cof import SCHEMA_FILE  # noqa: F401
+
+        from repro.core.columnio import ColumnSpec, encode_column_file
+
+        scores = list(range(25))
+        payload = encode_column_file(Schema.int_(), scores, ColumnSpec("plain"))
+        split_dir = split_dirs_of(fs, "/ev/d")[0]
+        fs.write_file(f"{split_dir}/score", payload)
+        out = read_all(fs, "/ev/d", columns=["score"])
+        assert [row["score"] for row in out] == scores
+
+    def test_query_layer_over_declared_column(self, fs):
+        from repro.query import Q, col, count
+
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 50))
+        declare_column(fs, "/ev/d", "region", Schema.string(), default="eu")
+        rows = (
+            Q("/ev/d").group_by("region").aggregate(n=count()).run(fs)
+        )
+        assert rows.rows == [{"region": "eu", "n": 50}]
+
+
+class TestAddColumnStillWorks:
+    def test_add_column_unchanged(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/ev/d", schema, micro_records(schema, 20))
+        add_column(fs, "/ev/d", "rank", Schema.double(),
+                   [float(i) for i in range(20)])
+        out = read_all(fs, "/ev/d", columns=["rank"])
+        assert [row["rank"] for row in out] == [float(i) for i in range(20)]

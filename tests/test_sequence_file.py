@@ -1,0 +1,94 @@
+"""Tests for SequenceFiles: all compression variants and split semantics."""
+
+import pytest
+
+from repro.formats.sequence_file import SequenceFileInputFormat, write_sequence_file
+from repro.sim.metrics import Metrics
+from tests.conftest import make_ctx, micro_records, micro_schema
+
+
+def read_all(fs, path):
+    fmt = SequenceFileInputFormat(path)
+    out = []
+    for split in fmt.get_splits(fs, fs.cluster):
+        reader = fmt.open_reader(fs, split, make_ctx())
+        out.extend(record for _, record in reader)
+    return out
+
+
+class TestSequenceFile:
+    @pytest.mark.parametrize("compression", ["none", "record", "block"])
+    def test_roundtrip_single_block(self, fs, compression):
+        schema = micro_schema()
+        records = micro_records(schema, 30)
+        write_sequence_file(fs, "/d/s", schema, records, compression=compression)
+        assert read_all(fs, "/d/s") == records
+
+    @pytest.mark.parametrize("compression", ["none", "record", "block"])
+    def test_roundtrip_multi_block(self, fs, compression):
+        schema = micro_schema()
+        # Enough records that even the block-compressed file spans
+        # multiple 64 KB HDFS blocks.
+        records = micro_records(schema, 2500)
+        write_sequence_file(fs, "/d/s", schema, records, compression=compression)
+        fmt = SequenceFileInputFormat("/d/s")
+        assert len(fmt.get_splits(fs, fs.cluster)) > 1
+        assert read_all(fs, "/d/s") == records
+
+    def test_records_read_exactly_once(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 500)
+        write_sequence_file(fs, "/d/s", schema, records)
+        out = read_all(fs, "/d/s")
+        assert len(out) == len(records)
+        assert out == records  # order preserved across splits
+
+    def test_bad_compression_mode(self, fs):
+        with pytest.raises(ValueError):
+            write_sequence_file(
+                fs, "/d/s", micro_schema(), [], compression="snappy"
+            )
+
+    def test_keys_are_null(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/d/s", schema, micro_records(schema, 5))
+        fmt = SequenceFileInputFormat("/d/s")
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        for key, _ in fmt.open_reader(fs, split, make_ctx()):
+            assert key is None
+
+    def test_compression_shrinks_file(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 400)
+        write_sequence_file(fs, "/d/u", schema, records, compression="none")
+        write_sequence_file(fs, "/d/b", schema, records, compression="block")
+        assert fs.file_length("/d/b") < fs.file_length("/d/u")
+
+    def test_block_mode_beats_record_mode_ratio(self, fs):
+        # Compressing batches exploits inter-record redundancy.
+        schema = micro_schema()
+        records = micro_records(schema, 400)
+        write_sequence_file(fs, "/d/r", schema, records, compression="record")
+        write_sequence_file(fs, "/d/b", schema, records, compression="block")
+        assert fs.file_length("/d/b") < fs.file_length("/d/r")
+
+    def test_decompression_charged(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 100)
+        write_sequence_file(fs, "/d/u", schema, records, compression="none")
+        write_sequence_file(fs, "/d/c", schema, records, compression="block")
+
+        def cpu(path):
+            fmt = SequenceFileInputFormat(path)
+            ctx = make_ctx()
+            for split in fmt.get_splits(fs, fs.cluster):
+                for _ in fmt.open_reader(fs, split, ctx):
+                    pass
+            return ctx.metrics.cpu_time
+
+        assert cpu("/d/c") > cpu("/d/u")
+
+    def test_empty_file(self, fs):
+        schema = micro_schema()
+        write_sequence_file(fs, "/d/e", schema, [])
+        assert read_all(fs, "/d/e") == []

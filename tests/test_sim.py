@@ -1,0 +1,162 @@
+"""Tests for the performance-model substrate: metrics, models, cost."""
+
+import pytest
+
+from repro.sim import calibration
+from repro.sim.cost import CpuCostModel
+from repro.sim.metrics import Metrics
+from repro.sim.models import DiskModel, NetworkModel
+
+
+class TestMetrics:
+    def test_task_time_is_io_plus_cpu(self):
+        m = Metrics()
+        m.charge_io(1.5)
+        m.charge_cpu(0.5)
+        assert m.task_time == pytest.approx(2.0)
+
+    def test_add_merges_all_fields(self):
+        a, b = Metrics(), Metrics()
+        a.disk_bytes, a.records = 10, 1
+        a.extra["x"] = 2
+        b.disk_bytes, b.net_bytes = 5, 7
+        b.extra["x"] = 3
+        b.extra["y"] = 1
+        a.add(b)
+        assert a.disk_bytes == 15
+        assert a.net_bytes == 7
+        assert a.records == 1
+        assert a.extra == {"x": 5, "y": 1}
+
+    def test_copy_is_independent(self):
+        a = Metrics()
+        a.charge_cpu(1.0)
+        b = a.copy()
+        b.charge_cpu(1.0)
+        assert a.cpu_time == 1.0 and b.cpu_time == 2.0
+
+    def test_reset(self):
+        m = Metrics()
+        m.charge_io(1.0)
+        m.seeks = 3
+        m.extra["k"] = 1
+        m.reset()
+        assert m.io_time == 0.0 and m.seeks == 0 and m.extra == {}
+
+    def test_total_bytes(self):
+        m = Metrics()
+        m.disk_bytes, m.net_bytes = 100, 50
+        assert m.total_bytes_read == 150
+
+
+class TestDiskModel:
+    def test_bandwidth_and_seek_charges(self):
+        disk = DiskModel(bytes_per_sec=1e6, seek_seconds=0.01)
+        m = Metrics()
+        disk.charge_read(m, 500_000, seeks=2)
+        assert m.io_time == pytest.approx(0.5 + 0.02)
+        assert m.disk_bytes == 500_000
+        assert m.seeks == 2
+
+    def test_bandwidth_scale_slows_reads(self):
+        disk = DiskModel(bytes_per_sec=1e6, seek_seconds=0)
+        m1, m2 = Metrics(), Metrics()
+        disk.charge_read(m1, 1_000_000)
+        disk.charge_read(m2, 1_000_000, bandwidth_scale=0.5)
+        assert m2.io_time == pytest.approx(2 * m1.io_time)
+
+    def test_write_charge(self):
+        disk = DiskModel(bytes_per_sec=2e6)
+        m = Metrics()
+        disk.charge_write(m, 1_000_000)
+        assert m.io_time == pytest.approx(0.5)
+
+
+class TestNetworkModel:
+    def test_remote_read_slower_than_local_disk(self):
+        disk, net = DiskModel(), NetworkModel()
+        local, remote = Metrics(), Metrics()
+        disk.charge_read(local, 1_000_000)
+        net.charge_remote_read(remote, 1_000_000, transfers=1)
+        assert remote.io_time > local.io_time
+
+    def test_shuffle_charge(self):
+        net = NetworkModel(shuffle_bytes_per_sec=1e6)
+        m = Metrics()
+        net.charge_shuffle(m, 500_000)
+        assert m.io_time == pytest.approx(0.5)
+        assert m.net_bytes == 500_000
+
+
+class TestCalibration:
+    def test_interleave_scale_shape(self):
+        one = calibration.interleave_bandwidth_scale(1)
+        thirteen = calibration.interleave_bandwidth_scale(13)
+        eighty = calibration.interleave_bandwidth_scale(80)
+        assert one == 1.0
+        # 13 columns -> the paper's ~25% all-columns penalty.
+        assert 0.75 < thirteen < 0.85
+        assert eighty < thirteen
+
+    def test_profiles_ordered_native_faster(self):
+        managed = calibration.MANAGED_PROFILE
+        native = calibration.NATIVE_PROFILE
+        for field in (
+            "int_decode", "double_decode", "map_entry",
+            "string_decode_base", "text_parse_per_byte",
+        ):
+            assert getattr(native, field) < getattr(managed, field), field
+
+    def test_lzo_cheaper_worse_positioning(self):
+        p = calibration.MANAGED_PROFILE
+        assert p.lzo_inflate_per_byte < p.zlib_inflate_per_byte
+        assert p.lzo_deflate_per_byte < p.zlib_deflate_per_byte
+
+    def test_remote_slower_than_local(self):
+        assert calibration.REMOTE_BYTES_PER_SEC < calibration.DISK_BYTES_PER_SEC
+
+
+class TestCpuCostModel:
+    def setup_method(self):
+        self.cost = CpuCostModel()
+        self.m = Metrics()
+
+    def test_string_cost_scales_with_length(self):
+        self.cost.charge_string(self.m, 10)
+        short = self.m.cpu_time
+        self.cost.charge_string(self.m, 1000)
+        assert self.m.cpu_time - short > short
+
+    def test_map_charges_objects(self):
+        self.cost.charge_map(self.m, 5)
+        assert self.m.objects == 6  # container + entries
+
+    def test_cells_counted_per_primitive(self):
+        self.cost.charge_int(self.m)
+        self.cost.charge_double(self.m)
+        self.cost.charge_string(self.m, 4)
+        assert self.m.cells == 3
+
+    def test_skip_discount(self):
+        assert self.cost.skip_discount(1.0) == pytest.approx(
+            self.cost.profile.skip_fraction
+        )
+
+    def test_inflate_codec_dispatch(self):
+        m_zlib, m_lzo = Metrics(), Metrics()
+        self.cost.charge_inflate(m_zlib, "zlib", 1000)
+        self.cost.charge_inflate(m_lzo, "lzo", 1000)
+        assert m_lzo.cpu_time < m_zlib.cpu_time
+        with pytest.raises(KeyError):
+            self.cost.charge_inflate(Metrics(), "snappy", 10)
+
+    def test_rcfile_rowgroup_scales_with_entries(self):
+        m_small, m_large = Metrics(), Metrics()
+        self.cost.charge_rcfile_rowgroup(m_small, 10)
+        self.cost.charge_rcfile_rowgroup(m_large, 10_000)
+        assert m_large.cpu_time > m_small.cpu_time
+
+    def test_predicate_per_byte(self):
+        self.cost.charge_predicate(self.m, 100)
+        expected = 100 * self.cost.profile.predicate_per_byte
+        assert self.m.cpu_time == pytest.approx(expected)

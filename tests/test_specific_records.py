@@ -1,0 +1,115 @@
+"""Tests for generated 'specific' record classes (Appendix A)."""
+
+import pytest
+
+from repro.serde.binary import decode_datum, encode_datum
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from repro.serde.specific import accessor_name, specific_record_class, to_specific
+from repro.workloads.crawl import crawl_schema
+
+
+class TestAccessorNaming:
+    @pytest.mark.parametrize(
+        "field,expected",
+        [
+            ("url", "url"),
+            ("srcUrl", "src_url"),
+            ("fetchTime", "fetch_time"),
+            ("content-type", "content_type"),
+            ("class", "f_class"),
+            ("1st", "f_1st"),
+        ],
+    )
+    def test_names(self, field, expected):
+        assert accessor_name(field) == expected
+
+
+class TestGeneratedClass:
+    def test_url_info_accessors(self):
+        URLInfo = specific_record_class(crawl_schema())
+        rec = URLInfo(
+            url="http://ibm.com/jp/x",
+            srcUrl="http://a",
+            fetchTime=1234,
+            inlink=["http://b"],
+            metadata={"content-type": "text/html"},
+            annotations={},
+            content=b"<html>",
+        )
+        assert rec.get_url() == "http://ibm.com/jp/x"
+        assert rec.get_fetch_time() == 1234
+        assert rec.get_metadata()["content-type"] == "text/html"
+
+    def test_generic_access_still_works(self):
+        # The paper's point: map functions using get(name) run unchanged.
+        URLInfo = specific_record_class(crawl_schema())
+        rec = URLInfo(url="http://x")
+        assert rec.get("url") == "http://x"
+        rec.put("fetchTime", 9)
+        assert rec.get_fetch_time() == 9
+
+    def test_is_a_record(self):
+        URLInfo = specific_record_class(crawl_schema())
+        assert issubclass(URLInfo, Record)
+        assert URLInfo.SCHEMA == crawl_schema()
+        assert URLInfo.__name__ == "URLInfo"
+
+    def test_typed_setters_reject_wrong_types(self):
+        URLInfo = specific_record_class(crawl_schema())
+        rec = URLInfo()
+        with pytest.raises(TypeError):
+            rec.set_url(123)
+        with pytest.raises(TypeError):
+            rec.set_fetch_time("now")
+        with pytest.raises(TypeError):
+            rec.set_fetch_time(True)  # bool is not an int here
+        rec.set_fetch_time(1)
+        rec.set_url(None)  # nulls allowed, as with generic put()
+
+    def test_unknown_constructor_field(self):
+        URLInfo = specific_record_class(crawl_schema())
+        with pytest.raises(AttributeError):
+            URLInfo(bogus=1)
+
+    def test_serialization_roundtrip(self):
+        schema = Schema.record(
+            "kv", [("key", Schema.string()), ("count", Schema.int_())]
+        )
+        KV = specific_record_class(schema)
+        rec = KV(key="a", count=3)
+        decoded = decode_datum(schema, encode_datum(schema, rec))
+        assert decoded == rec  # equality against the generic decode
+
+
+class TestToSpecific:
+    def test_rewrap_shares_values(self):
+        schema = Schema.record("p", [("x", Schema.int_())])
+        P = specific_record_class(schema)
+        generic = Record(schema, {"x": 41})
+        specific = to_specific(generic, P)
+        assert specific.get_x() == 41
+        generic.put("x", 42)
+        assert specific.get_x() == 42  # shared storage, like a Java cast
+
+    def test_schema_mismatch_rejected(self):
+        P = specific_record_class(Schema.record("p", [("x", Schema.int_())]))
+        other = Record(Schema.record("q", [("y", Schema.int_())]))
+        with pytest.raises(ValueError):
+            to_specific(other, P)
+
+    def test_cif_records_rewrap(self, fs):
+        from repro.core import ColumnInputFormat, write_dataset
+        from tests.conftest import make_ctx, micro_records, micro_schema
+
+        schema = micro_schema()
+        records = micro_records(schema, 10)
+        write_dataset(fs, "/sp/d", schema, records)
+        Micro = specific_record_class(schema)
+        fmt = ColumnInputFormat("/sp/d", lazy=False)
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        out = [
+            to_specific(record, Micro).get_int0()
+            for _, record in fmt.open_reader(fs, split, make_ctx())
+        ]
+        assert out == [r.get("int0") for r in records]

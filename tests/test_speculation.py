@@ -1,0 +1,110 @@
+"""Tests for speculative execution of map stragglers."""
+
+import pytest
+
+from repro.core import ColumnInputFormat, write_dataset
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.mapreduce import Job, run_job
+from repro.mapreduce.scheduler import makespan, schedule_map_tasks
+from repro.mapreduce.types import InputSplit
+from repro.sim.metrics import Metrics
+from tests.conftest import micro_records, micro_schema
+
+#: node 0 reads locally in 1s; every other node takes 5s (remote).
+def _locality_execute(split, node):
+    m = Metrics()
+    m.charge_io(1.0 if node in split.locations else 5.0)
+    return m
+
+
+class TestSchedulerSpeculation:
+    def _splits(self, n, local_node=0):
+        return [InputSplit(10, [local_node], f"s{i}") for i in range(n)]
+
+    def test_duplicate_wins_and_original_killed(self):
+        # 2 nodes x 1 slot, 2 splits, both local only to node 0: node 1
+        # is forced remote; once node 0 frees, it speculates the remote
+        # task locally and wins.
+        tasks = schedule_map_tasks(
+            self._splits(2), 2, 1, _locality_execute, speculative=True
+        )
+        assert len(tasks) == 3  # 2 originals + 1 duplicate
+        duplicate = next(t for t in tasks if t.speculative)
+        original = next(t for t in tasks if not t.data_local)
+        assert not duplicate.killed
+        assert original.killed
+        assert original.end == duplicate.end  # killed at commit time
+
+    def test_speculation_improves_makespan(self):
+        baseline = schedule_map_tasks(
+            self._splits(2), 2, 1, _locality_execute, speculative=False
+        )
+        speculated = schedule_map_tasks(
+            self._splits(2), 2, 1, _locality_execute, speculative=True
+        )
+        assert makespan(speculated) < makespan(baseline)
+
+    def test_no_speculation_when_everything_local(self):
+        splits = [InputSplit(10, [0, 1], f"s{i}") for i in range(4)]
+        tasks = schedule_map_tasks(splits, 2, 1, _locality_execute,
+                                   speculative=True)
+        assert not any(t.speculative for t in tasks)
+
+    def test_losing_duplicate_marked_killed(self):
+        # Make the duplicate slower than the original's remaining time:
+        # remote is only slightly slower, so by the time a local slot
+        # frees, rerunning from scratch cannot win.
+        def execute(split, node):
+            m = Metrics()
+            m.charge_io(1.0 if node in split.locations else 1.2)
+            return m
+
+        splits = [InputSplit(10, [0], f"s{i}") for i in range(2)]
+        tasks = schedule_map_tasks(splits, 2, 1, execute, speculative=True)
+        duplicates = [t for t in tasks if t.speculative]
+        if duplicates:  # the duplicate launched and lost
+            assert all(t.killed for t in duplicates)
+            original = next(t for t in tasks if not t.data_local)
+            assert not original.killed
+
+    def test_each_split_speculated_at_most_once(self):
+        tasks = schedule_map_tasks(
+            self._splits(3), 4, 1, _locality_execute, speculative=True
+        )
+        from collections import Counter
+
+        per_split = Counter(t.split.label for t in tasks)
+        assert all(count <= 2 for count in per_split.values())
+
+    def test_off_by_default_matches_plain(self):
+        plain = schedule_map_tasks(self._splits(3), 2, 1, _locality_execute)
+        assert not any(t.speculative for t in plain)
+
+
+class TestJobSpeculation:
+    def test_output_unchanged_by_speculation(self):
+        # A CIF dataset on a tiny cluster without CPP: some tasks run
+        # remotely, speculation re-runs them — the job's answer must be
+        # byte-identical to the non-speculative run.
+        fs = FileSystem(
+            ClusterConfig(num_nodes=4, map_slots_per_node=1,
+                          block_size=32 * 1024)
+        )
+        schema = micro_schema()
+        records = micro_records(schema, 300)
+        write_dataset(fs, "/sp/d", schema, records, split_bytes=8 * 1024)
+
+        def mapper(key, record, emit, ctx):
+            emit(record.get("int0") % 10, 1)
+
+        def reducer(key, values, emit, ctx):
+            emit(key, sum(values))
+
+        fmt = ColumnInputFormat("/sp/d", columns=["int0"], lazy=False)
+        plain = run_job(fs, Job("p", mapper, fmt, reducer=reducer))
+        spec = run_job(
+            fs, Job("s", mapper, fmt, reducer=reducer, speculative=True)
+        )
+        assert sorted(plain.output) == sorted(spec.output)
+        # Speculative duplicates never *increase* wall clock.
+        assert spec.map_makespan <= plain.map_makespan + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the TXT storage format over simulated HDFS."""
+
+from repro.formats.text import TextInputFormat, write_text
+from tests.conftest import make_ctx, micro_records, micro_schema
+
+
+def roundtrip(fs, records, schema, path="/data/t.txt"):
+    write_text(fs, path, schema, records)
+    fmt = TextInputFormat(path)
+    splits = fmt.get_splits(fs, fs.cluster)
+    out = []
+    for split in splits:
+        reader = fmt.open_reader(fs, split, make_ctx())
+        out.extend(record for _, record in reader)
+    return splits, out
+
+
+class TestTextFormat:
+    def test_roundtrip_single_block(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 20)
+        _, out = roundtrip(fs, records, schema)
+        assert out == records
+
+    def test_roundtrip_across_blocks(self, fs):
+        # Block size is 64 KB; 600 records of ~200 B span several blocks,
+        # so lines straddle split boundaries.
+        schema = micro_schema()
+        records = micro_records(schema, 600)
+        splits, out = roundtrip(fs, records, schema)
+        assert len(splits) > 1
+        assert out == records
+
+    def test_each_split_disjoint(self, fs):
+        schema = micro_schema()
+        records = micro_records(schema, 400)
+        write_text(fs, "/d/t", schema, records)
+        fmt = TextInputFormat("/d/t")
+        seen = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            reader = fmt.open_reader(fs, split, make_ctx())
+            seen.extend(r.get("str0") for _, r in reader)
+        assert seen == [r.get("str0") for r in records]
+
+    def test_schema_persisted_alongside(self, fs):
+        schema = micro_schema()
+        write_text(fs, "/d/t", schema, micro_records(schema, 3))
+        assert fs.exists("/d/t.schema")
+        fmt = TextInputFormat("/d/t")  # schema resolved from HDFS
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        reader = fmt.open_reader(fs, split, make_ctx())
+        assert sum(1 for _ in reader) == 3
+
+    def test_parse_charges_cpu(self, fs):
+        schema = micro_schema()
+        write_text(fs, "/d/t", schema, micro_records(schema, 50))
+        fmt = TextInputFormat("/d/t")
+        ctx = make_ctx()
+        for split in fmt.get_splits(fs, fs.cluster):
+            for _ in fmt.open_reader(fs, split, ctx):
+                pass
+        assert ctx.metrics.cpu_time > 0
+        assert ctx.metrics.records == 50

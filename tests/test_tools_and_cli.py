@@ -1,0 +1,136 @@
+"""Tests for the conversion tool and the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.core import ColumnInputFormat, ColumnSpec
+from repro.formats.rcfile import RCFileInputFormat
+from repro.formats.sequence_file import SequenceFileInputFormat, write_sequence_file
+from repro.formats.text import TextInputFormat
+from repro.tools import convert_dataset
+from tests.conftest import make_ctx, micro_records, micro_schema
+
+
+def load_seq(fs, n=120):
+    schema = micro_schema()
+    records = micro_records(schema, n)
+    write_sequence_file(fs, "/src/seq", schema, records)
+    return schema, records
+
+
+def read_via(fs, fmt):
+    out = []
+    for split in fmt.get_splits(fs, fs.cluster):
+        out.extend(r.to_dict() for _, r in fmt.open_reader(fs, split, make_ctx()))
+    return out
+
+
+class TestConvert:
+    def test_seq_to_cif(self, fs):
+        schema, records = load_seq(fs)
+        report = convert_dataset(
+            fs, SequenceFileInputFormat("/src/seq"), schema,
+            "cif", "/out/cif", split_bytes=32 * 1024,
+        )
+        assert report.records == len(records)
+        assert report.bytes_read > 0 and report.bytes_written > 0
+        assert report.load_time > 0
+        out = read_via(fs, ColumnInputFormat("/out/cif"))
+        assert out == [r.to_dict() for r in records]
+
+    def test_seq_to_cif_with_specs(self, fs):
+        schema, records = load_seq(fs)
+        convert_dataset(
+            fs, SequenceFileInputFormat("/src/seq"), schema,
+            "cif", "/out/cif",
+            specs={"attrs": ColumnSpec("dcsl", skip_sizes=(50, 10))},
+        )
+        out = read_via(fs, ColumnInputFormat("/out/cif", columns=["attrs"]))
+        assert [o["attrs"] for o in out] == [r.get("attrs") for r in records]
+
+    def test_seq_to_rcfile(self, fs):
+        schema, records = load_seq(fs)
+        report = convert_dataset(
+            fs, SequenceFileInputFormat("/src/seq"), schema,
+            "rcfile", "/out/rc", row_group_bytes=16 * 1024,
+        )
+        assert report.records == len(records)
+        out = read_via(fs, RCFileInputFormat("/out/rc"))
+        assert out == [r.to_dict() for r in records]
+
+    def test_cif_to_text_roundtrip(self, fs):
+        schema, records = load_seq(fs)
+        convert_dataset(
+            fs, SequenceFileInputFormat("/src/seq"), schema, "cif", "/out/cif"
+        )
+        convert_dataset(
+            fs, ColumnInputFormat("/out/cif"), schema, "text", "/out/txt"
+        )
+        out = read_via(fs, TextInputFormat("/out/txt"))
+        assert out == [r.to_dict() for r in records]
+
+    def test_unknown_target(self, fs):
+        schema, _ = load_seq(fs)
+        with pytest.raises(ValueError):
+            convert_dataset(
+                fs, SequenceFileInputFormat("/src/seq"), schema, "orc", "/o"
+            )
+
+
+class TestCli:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_list_names_every_experiment(self):
+        code, text = self.collect(["list"])
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_run_small_experiment(self):
+        code, text = self.collect(["experiment", "fig8", "--records", "10"])
+        assert code == 0
+        assert "Figure 8" in text
+        assert "managed" in text and "native" in text
+
+    def test_run_addcolumn_with_size(self):
+        code, text = self.collect(["experiment", "addcolumn", "--records", "500"])
+        assert code == 0
+        assert "RCFile rewrite" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure-nope"], out=lambda s: None)
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([], out=lambda s: None) == 2
+
+    def test_every_experiment_registered_has_run_and_format(self):
+        for name, experiment in EXPERIMENTS.items():
+            assert hasattr(experiment.module, "run"), name
+            assert hasattr(experiment.module, "format_table"), name
+
+
+class TestReportCommand:
+    def test_report_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "--out", "/tmp/r.md"])
+        assert args.command == "report"
+        assert args.out == "/tmp/r.md"
+
+    def test_report_writes_file(self, tmp_path, monkeypatch):
+        # Patch the registry down to one fast experiment so the test
+        # exercises the report plumbing, not every experiment's runtime.
+        import repro.cli as cli
+
+        target = tmp_path / "results.md"
+        small = {"fig8": cli.EXPERIMENTS["fig8"]}
+        monkeypatch.setattr(cli, "EXPERIMENTS", small)
+        code = cli.main(["report", "--out", str(target)], out=lambda s: None)
+        assert code == 0
+        text = target.read_text()
+        assert "# Reproduction results" in text
+        assert "Figure 8" in text

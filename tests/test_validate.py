@@ -1,0 +1,105 @@
+"""Tests for schema validation and its error paths."""
+
+import pytest
+
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from repro.serde.validate import ValidationError, is_valid, validate
+from repro.workloads.crawl import crawl_records, crawl_schema
+
+
+def nested_schema():
+    return Schema.record(
+        "Doc",
+        [
+            ("title", Schema.string()),
+            ("sections", Schema.array(
+                Schema.record("Sec", [
+                    ("heading", Schema.string()),
+                    ("words", Schema.int_()),
+                ])
+            )),
+            ("tags", Schema.map(Schema.boolean())),
+        ],
+    )
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "kind,good,bad",
+        [
+            ("int", 5, "5"),
+            ("long", 2**40, 1.5),
+            ("double", 1.5, "x"),
+            ("boolean", True, 1),
+            ("string", "s", b"s"),
+            ("bytes", b"b", "b"),
+            ("time", 1000, -5),
+        ],
+    )
+    def test_kind_checks(self, kind, good, bad):
+        schema = Schema(kind)
+        validate(schema, good)
+        with pytest.raises(ValidationError):
+            validate(schema, bad)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ValidationError):
+            validate(Schema.int_(), True)
+        with pytest.raises(ValidationError):
+            validate(Schema.double(), False)
+
+    def test_int_range(self):
+        validate(Schema.int_(), 2**31 - 1)
+        with pytest.raises(ValidationError, match="range"):
+            validate(Schema.int_(), 2**31)
+
+    def test_double_accepts_int(self):
+        validate(Schema.double(), 3)
+
+
+class TestComposite:
+    def test_error_path_names_nested_location(self):
+        schema = nested_schema()
+        value = {
+            "title": "t",
+            "sections": [
+                {"heading": "a", "words": 3},
+                {"heading": "b", "words": "not-a-number"},
+            ],
+            "tags": {},
+        }
+        with pytest.raises(ValidationError) as info:
+            validate(schema, value)
+        assert info.value.path == "sections/[1]/words"
+
+    def test_map_key_type(self):
+        with pytest.raises(ValidationError, match="keys must be strings"):
+            validate(Schema.map(Schema.int_()), {1: 2})
+
+    def test_missing_and_extra_fields(self):
+        schema = Schema.record("p", [("x", Schema.int_())])
+        with pytest.raises(ValidationError, match="missing"):
+            validate(schema, {})
+        with pytest.raises(ValidationError, match="unknown"):
+            validate(schema, {"x": 1, "y": 2})
+
+    def test_record_object_schema_mismatch(self):
+        a = Schema.record("a", [("x", Schema.int_())])
+        b = Schema.record("b", [("y", Schema.int_())])
+        record = Record(a, {"x": 1})
+        validate(a, record)
+        with pytest.raises(ValidationError, match="mismatch"):
+            validate(b, record)
+
+    def test_is_valid(self):
+        schema = nested_schema()
+        assert is_valid(schema, {
+            "title": "t", "sections": [], "tags": {"a": True},
+        })
+        assert not is_valid(schema, {"title": 1, "sections": [], "tags": {}})
+
+    def test_generated_workload_records_validate(self):
+        schema = crawl_schema()
+        for record in crawl_records(25, content_bytes=256):
+            validate(schema, record)

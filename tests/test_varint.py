@@ -1,0 +1,102 @@
+"""Unit and property tests for the varint/zig-zag codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    VarintError,
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    varint_size,
+    zigzag_size,
+)
+
+
+class TestVarint:
+    def test_zero_is_one_byte(self):
+        buf = bytearray()
+        assert encode_varint(0, buf) == 1
+        assert buf == b"\x00"
+
+    def test_small_values_single_byte(self):
+        for value in (1, 63, 127):
+            buf = bytearray()
+            encode_varint(value, buf)
+            assert len(buf) == 1
+
+    def test_128_takes_two_bytes(self):
+        buf = bytearray()
+        assert encode_varint(128, buf) == 2
+        assert decode_varint(buf) == (128, 2)
+
+    def test_continuation_bits(self):
+        buf = bytearray()
+        encode_varint(300, buf)
+        assert buf[0] & 0x80  # first byte marks continuation
+        assert not buf[1] & 0x80
+
+    def test_negative_rejected(self):
+        with pytest.raises(VarintError):
+            encode_varint(-1, bytearray())
+
+    def test_truncated_raises(self):
+        buf = bytearray()
+        encode_varint(1 << 40, buf)
+        with pytest.raises(VarintError):
+            decode_varint(buf[:-1])
+
+    def test_overlong_raises(self):
+        with pytest.raises(VarintError):
+            decode_varint(b"\x80" * 11)
+
+    def test_decode_with_offset(self):
+        buf = bytearray(b"\xff")
+        encode_varint(7, buf)
+        assert decode_varint(buf, 1) == (7, 2)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        written = encode_varint(value, buf)
+        assert written == len(buf) == varint_size(value)
+        assert decode_varint(buf) == (value, len(buf))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_concatenated_stream(self, values):
+        buf = bytearray()
+        for v in values:
+            encode_varint(v, buf)
+        pos = 0
+        out = []
+        for _ in values:
+            v, pos = decode_varint(buf, pos)
+            out.append(v)
+        assert out == values
+        assert pos == len(buf)
+
+
+class TestZigzag:
+    def test_small_magnitudes_stay_short(self):
+        for value in (-64, -1, 0, 1, 63):
+            buf = bytearray()
+            encode_zigzag(value, buf)
+            assert len(buf) == 1, value
+
+    def test_interleaving(self):
+        # zig-zag order: 0, -1, 1, -2, 2, ...
+        encodings = []
+        for value in (0, -1, 1, -2, 2):
+            buf = bytearray()
+            encode_zigzag(value, buf)
+            encodings.append(bytes(buf))
+        assert encodings == [b"\x00", b"\x01", b"\x02", b"\x03", b"\x04"]
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        buf = bytearray()
+        written = encode_zigzag(value, buf)
+        assert written == zigzag_size(value)
+        assert decode_zigzag(buf) == (value, len(buf))

@@ -1,0 +1,164 @@
+"""Tests for the workload generators and the paper's jobs."""
+
+import zlib
+
+import pytest
+
+from repro.serde.binary import encode_datum
+from repro.workloads.crawl import (
+    CRAWL_PREDICATE,
+    compress_content_column,
+    crawl_records,
+    crawl_schema,
+)
+from repro.workloads.micro import micro_records, micro_schema
+from repro.workloads.wide import column_names, wide_records, wide_schema
+
+
+class TestMicroDataset:
+    def test_schema_matches_paper(self):
+        schema = micro_schema()
+        kinds = [f.schema.kind for f in schema.fields]
+        assert kinds.count("string") == 6
+        assert kinds.count("int") == 6
+        assert kinds.count("map") == 1
+
+    def test_record_contents(self):
+        records = list(micro_records(50))
+        assert len(records) == 50
+        for record in records:
+            for i in range(6):
+                assert 20 <= len(record.get(f"str{i}")) <= 40
+                assert 1 <= record.get(f"int{i}") <= 10000
+            attrs = record.get("attrs")
+            assert len(attrs) == 10
+            assert all(len(k) == 4 for k in attrs)
+
+    def test_deterministic(self):
+        a = [r.to_dict() for r in micro_records(20, seed=5)]
+        b = [r.to_dict() for r in micro_records(20, seed=5)]
+        c = [r.to_dict() for r in micro_records(20, seed=6)]
+        assert a == b
+        assert a != c
+
+
+class TestCrawlDataset:
+    def test_schema_is_figure_2(self):
+        schema = crawl_schema()
+        assert schema.field_names == [
+            "url", "srcUrl", "fetchTime", "inlink", "metadata",
+            "annotations", "content",
+        ]
+        assert schema.field("inlink").schema.kind == "array"
+        assert schema.field("metadata").schema.kind == "map"
+        assert schema.field("content").schema.kind == "bytes"
+
+    def test_selectivity_controlled(self):
+        records = list(crawl_records(2000, selectivity=0.06, content_bytes=256))
+        matches = sum(1 for r in records if CRAWL_PREDICATE in r.get("url"))
+        assert 0.03 < matches / 2000 < 0.10
+
+    def test_zero_and_full_selectivity(self):
+        none = list(crawl_records(100, selectivity=0.0, content_bytes=128))
+        assert not any(CRAWL_PREDICATE in r.get("url") for r in none)
+        every = list(crawl_records(100, selectivity=1.0, content_bytes=128))
+        assert all(CRAWL_PREDICATE in r.get("url") for r in every)
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            list(crawl_records(1, selectivity=1.5))
+
+    def test_every_record_has_content_type(self):
+        for record in crawl_records(100, content_bytes=128):
+            assert "content-type" in record.get("metadata")
+
+    def test_content_dominates_and_compresses_2x(self):
+        # Table 1's premise: content is several KB and compresses ~2x.
+        records = list(crawl_records(50, content_bytes=8192))
+        raw = sum(len(r.get("content")) for r in records)
+        compressed = sum(
+            len(zlib.compress(r.get("content"), 1)) for r in records
+        )
+        assert 1.5 < raw / compressed < 3.0
+        encoded = sum(
+            len(encode_datum(crawl_schema(), r)) for r in records
+        )
+        assert raw > 0.8 * encoded  # content is most of the record
+
+    def test_metadata_keys_from_limited_universe(self):
+        # The property DCSL exploits (Section 5.3).
+        keys = set()
+        for record in crawl_records(200, content_bytes=128):
+            keys.update(record.get("metadata"))
+        assert len(keys) <= 20
+
+    def test_compress_content_column_custom_variant(self):
+        records = list(crawl_records(20, content_bytes=4096))
+        custom = list(compress_content_column(records))
+        for original, compressed in zip(records, custom):
+            assert len(compressed.get("content")) < len(original.get("content"))
+            assert compressed.get("url") == original.get("url")
+        # The originals are untouched.
+        assert all(len(r.get("content")) >= 64 for r in records)
+
+
+class TestWideDataset:
+    @pytest.mark.parametrize("width", [20, 40, 80])
+    def test_shape(self, width):
+        schema = wide_schema(width)
+        assert len(schema.fields) == width
+        record = next(iter(wide_records(width, 1)))
+        for name in column_names(width):
+            assert len(record.get(name)) == 30
+
+    def test_distinct_seeds_per_width(self):
+        a = next(iter(wide_records(20, 1))).get("c000")
+        b = next(iter(wide_records(40, 1))).get("c000")
+        assert a != b
+
+
+class TestJobs:
+    def test_content_type_mapper_matches_figure_1(self, fs):
+        from repro.core import ColumnInputFormat, write_dataset
+        from repro.mapreduce import run_job
+        from repro.workloads.jobs import distinct_content_types_job
+
+        records = list(crawl_records(300, selectivity=0.5, content_bytes=256))
+        write_dataset(fs, "/j/cif", crawl_schema(), records)
+        fmt = ColumnInputFormat("/j/cif", columns=["url", "metadata"])
+        result = run_job(fs, distinct_content_types_job(fmt, num_reducers=2))
+        expected = {
+            r.get("metadata")["content-type"]
+            for r in records
+            if CRAWL_PREDICATE in r.get("url")
+        }
+        assert {k for k, _ in result.output} == expected
+
+    def test_selectivity_aggregation_job(self, fs):
+        from repro.core import ColumnInputFormat, write_dataset
+        from repro.mapreduce import run_job
+        from repro.workloads.jobs import selectivity_aggregation_job
+
+        schema = micro_schema()
+        records = list(micro_records(100))
+        write_dataset(fs, "/j/m", schema, records)
+        fmt = ColumnInputFormat("/j/m", columns=["str0", "attrs"])
+        key = next(iter(records[0].get("attrs")))
+        job = selectivity_aggregation_job(fmt, "str0", "attrs", key, pattern="")
+        result = run_job(fs, job)
+        expected = sum(
+            r.get("attrs").get(key, 0) if key in r.get("attrs") else 0
+            for r in records
+        )
+        assert dict(result.output)["sum"] == expected
+
+    def test_projection_scan_job_counts(self, fs):
+        from repro.core import ColumnInputFormat, write_dataset
+        from repro.mapreduce import run_job
+        from repro.workloads.jobs import projection_scan_job
+
+        schema = micro_schema()
+        write_dataset(fs, "/j/s", schema, micro_records(40))
+        fmt = ColumnInputFormat("/j/s", columns=["int0"])
+        result = run_job(fs, projection_scan_job(fmt, ["int0"]))
+        assert result.counters.get("map.records") == 40
