@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.hdfs import ClusterConfig, FileSystem
 from repro.mapreduce.types import InputFormat, TaskContext
+from repro.obs import current_obs
 from repro.sim import calibration
 from repro.sim.cost import CpuCostModel
 from repro.sim.metrics import Metrics
@@ -108,17 +109,39 @@ def scan(
 
     ``touch_columns`` calls ``record.get`` on those columns (what a map
     function would do); None touches nothing beyond materialization.
+
+    Under an active flight recorder the scan is traced (one span per
+    scan, one per split) and its metrics snapshot is recorded, so every
+    benchmark emits a flight-recorder artifact with no extra plumbing.
     """
+    obs = current_obs()
     ctx = make_context(fs, node=node)
-    for split in input_format.get_splits(fs, fs.cluster):
-        reader = input_format.open_reader(fs, split, ctx)
-        try:
-            for _, record in reader:
-                if touch_columns:
-                    for column in touch_columns:
-                        record.get(column)
-        finally:
-            reader.close()
+    fmt = type(input_format).__name__
+    dataset = getattr(
+        input_format, "dataset", getattr(input_format, "path", "")
+    )
+    label = f"scan:{fmt}:{dataset}" + (
+        f":{'+'.join(touch_columns)}" if touch_columns else ""
+    )
+    with obs.tracer.span(
+        "scan", kind="scan", format=fmt, dataset=dataset,
+        columns=list(touch_columns) if touch_columns else None,
+        metrics=ctx.metrics,
+    ):
+        for split in input_format.get_splits(fs, fs.cluster):
+            reader = input_format.open_reader(fs, split, ctx)
+            try:
+                with obs.tracer.span(
+                    "split_scan", kind="split", split=split.label,
+                    metrics=ctx.metrics,
+                ):
+                    for _, record in reader:
+                        if touch_columns:
+                            for column in touch_columns:
+                                record.get(column)
+            finally:
+                reader.close()
+    obs.record_metrics(label, ctx.metrics)
     return ctx.metrics
 
 

@@ -4,11 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro experiment fig7
+    python -m repro experiment fig7 --trace-out run.jsonl
     python -m repro experiment table1 --records 800
     python -m repro experiment all
+    python -m repro report run.jsonl
 
 Each experiment prints the same rows/series the paper's corresponding
-table or figure reports (simulated time; real bytes).
+table or figure reports (simulated time; real bytes).  With
+``--trace-out`` the run executes under a flight recorder and the
+spans/metrics/counters artifact is written as JSONL; ``repro report
+<run.jsonl>`` pretty-prints a saved artifact.
 """
 
 from __future__ import annotations
@@ -16,6 +21,18 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict, List, Optional
+
+
+def _version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 from repro.bench import (
     addcolumn_ablation,
@@ -128,13 +145,24 @@ def build_parser() -> argparse.ArgumentParser:
             "MapReduce' (Floratou et al., PVLDB 2011)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     subcommands = parser.add_subparsers(dest="command")
 
     subcommands.add_parser("list", help="list available experiments")
 
     report = subcommands.add_parser(
         "report",
-        help="run every experiment and emit a results document (markdown)",
+        help=(
+            "pretty-print a flight-recorder file (repro report run.jsonl), "
+            "or with no argument run every experiment and emit a results "
+            "document (markdown)"
+        ),
+    )
+    report.add_argument(
+        "trace", nargs="?", default=None,
+        help="a flight-recorder JSONL file written by --trace-out",
     )
     report.add_argument(
         "--out", default=None,
@@ -152,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--records", "--size", dest="size", type=int, default=None,
         help="dataset size override (records, or bytes for fig11)",
     )
+    experiment.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help=(
+            "run under a flight recorder and write the JSONL artifact "
+            "(spans, metric registry, sim metrics, job counters) here"
+        ),
+    )
     return parser
 
 
@@ -161,6 +196,22 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
             out(f"{name.ljust(width)}  {EXPERIMENTS[name].description}")
+        return 0
+    if args.command == "report" and args.trace is not None:
+        from repro.obs import RunReport
+
+        try:
+            report = RunReport.load(args.trace)
+        except (OSError, ValueError) as exc:
+            out(f"error: cannot read flight recording {args.trace}: {exc}")
+            return 1
+        rendered = report.render()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered + "\n")
+            out(f"wrote {args.out}")
+        else:
+            out(rendered)
         return 0
     if args.command == "report":
         lines: List[str] = [
@@ -187,9 +238,32 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         return 0
     if args.command == "experiment":
         names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+        recorder = None
+        if args.trace_out:
+            from repro.obs import FlightRecorder
+
+            recorder = FlightRecorder(
+                meta={"command": "experiment", "experiments": names}
+            )
         for name in names:
-            out(EXPERIMENTS[name].run(args.size if args.name != "all" else None))
+            size = args.size if args.name != "all" else None
+            if recorder is not None:
+                with recorder.activate():
+                    with recorder.tracer.span(
+                        "experiment", kind="experiment", experiment=name
+                    ):
+                        text = EXPERIMENTS[name].run(size)
+            else:
+                text = EXPERIMENTS[name].run(size)
+            out(text)
             out("")
+        if recorder is not None:
+            try:
+                recorder.report().write_jsonl(args.trace_out)
+            except OSError as exc:
+                out(f"error: cannot write flight recording: {exc}")
+                return 1
+            out(f"wrote flight recording to {args.trace_out}")
         return 0
     build_parser().print_help()
     return 2

@@ -24,20 +24,39 @@ class Codec:
         data: bytes,
         cost: Optional[CpuCostModel] = None,
         metrics: Optional[Metrics] = None,
+        registry=None,
     ) -> bytes:
         if cost is not None and metrics is not None:
             cost.charge_deflate(metrics, self.name, len(data))
-        return self._compress(data)
+        out = self._compress(data)
+        if registry is not None and registry.enabled:
+            registry.counter("codec.blocks", codec=self.name, op="deflate").inc()
+            registry.counter(
+                "codec.bytes_in", codec=self.name, op="deflate"
+            ).inc(len(data))
+            registry.counter(
+                "codec.bytes_out", codec=self.name, op="deflate"
+            ).inc(len(out))
+        return out
 
     def decompress(
         self,
         data: bytes,
         cost: Optional[CpuCostModel] = None,
         metrics: Optional[Metrics] = None,
+        registry=None,
     ) -> bytes:
         out = self._decompress(data)
         if cost is not None and metrics is not None:
             cost.charge_inflate(metrics, self.name, len(out))
+        if registry is not None and registry.enabled:
+            registry.counter("codec.blocks", codec=self.name, op="inflate").inc()
+            registry.counter(
+                "codec.bytes_in", codec=self.name, op="inflate"
+            ).inc(len(data))
+            registry.counter(
+                "codec.bytes_out", codec=self.name, op="inflate"
+            ).inc(len(out))
         return out
 
     def _compress(self, data: bytes) -> bytes:

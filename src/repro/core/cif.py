@@ -85,8 +85,13 @@ class CIFRecordReader(RecordReader):
         split_dir = self._dirs[self._dir_index]
         self._dir_index += 1
         fs, ctx = self._fs, self.ctx
+        obs = ctx.obs
         raw_schema = fs.open(
-            f"{split_dir}/{SCHEMA_FILE}", node=ctx.node, metrics=ctx.metrics
+            f"{split_dir}/{SCHEMA_FILE}", node=ctx.node, metrics=ctx.metrics,
+            probe=obs.stream_probe(
+                file=f"{split_dir}/{SCHEMA_FILE}", column=SCHEMA_FILE,
+                format="cif",
+            ),
         ).read_fully()
         full_schema = Schema.parse(raw_schema.decode("utf-8"))
         names = (
@@ -117,6 +122,7 @@ class CIFRecordReader(RecordReader):
                 metrics=ctx.metrics,
                 buffer_size=ctx.io_buffer_size,
                 bandwidth_scale=scale,
+                probe=obs.stream_probe(file=path, column=name, format="cif"),
             )
             reader = open_column_reader(stream, field.schema, ctx)
             self._readers[name] = reader
@@ -138,7 +144,10 @@ class CIFRecordReader(RecordReader):
                 field.schema, self._count, ctx, field.default
             )
         self._cursor = 0
-        self._record = LazyRecord(self._schema, self._readers) if self._lazy else None
+        self._record = (
+            LazyRecord(self._schema, self._readers, obs=obs)
+            if self._lazy else None
+        )
         return True
 
     def _any_column_count(self, split_dir: str, schema: Schema) -> int:

@@ -320,6 +320,12 @@ class SkipListColumnReader(ColumnReader):
         super().__init__(reader, field_schema, count, ctx)
         self.sizes = tuple(sizes)
         self.dictionary: Optional[KeyDictionary] = None
+        registry = ctx.obs.registry
+        self._obs_jumps = registry.counter("column.skiplist.jumps")
+        self._obs_jumped_records = registry.counter(
+            "column.skiplist.jumped_records"
+        )
+        self._obs_jumped_bytes = registry.counter("column.skiplist.jumped_bytes")
 
     def _consume_block_header(self, level: int) -> Tuple[int, int]:
         """Read ``count, nbytes`` (charging their bytes as raw scan)."""
@@ -346,6 +352,9 @@ class SkipListColumnReader(ColumnReader):
                     self.reader.skip(nbytes)
                     self.next_index += block_count
                     n -= block_count
+                    self._obs_jumps.inc()
+                    self._obs_jumped_records.inc(block_count)
+                    self._obs_jumped_bytes.inc(nbytes)
                     jumped = True
                     break
                 if level == 0 and self.has_dictionaries:
@@ -420,6 +429,9 @@ class CBlockColumnReader(ColumnReader):
         self._block_reader: Optional[ByteReader] = None
         self._block_decoder: Optional[BinaryDecoder] = None
         self._block_remaining = 0  # values left in the open block
+        self._obs_blocks_skipped = ctx.obs.registry.counter(
+            "column.cblock.blocks_skipped_compressed"
+        )
 
     def _block_header(self) -> Tuple[int, int, int]:
         before = self.reader.offset
@@ -435,7 +447,9 @@ class CBlockColumnReader(ColumnReader):
         compressed = self.reader.read_bytes(comp_len)
         ctx.cost.charge_raw_scan(ctx.metrics, comp_len)
         ctx.cost.charge_block_inflate_setup(ctx.metrics)
-        raw = self._codec.decompress(compressed, ctx.cost, ctx.metrics)
+        raw = self._codec.decompress(
+            compressed, ctx.cost, ctx.metrics, registry=ctx.obs.registry
+        )
         if len(raw) != raw_len:
             raise ValueError("corrupt compressed block")
         self._block_reader = ByteReader(raw)
@@ -452,13 +466,15 @@ class CBlockColumnReader(ColumnReader):
                     self.reader.skip(comp_len)
                     self.next_index += block_count
                     n -= block_count
+                    self._obs_blocks_skipped.inc()
                     continue
                 # Someone needs a value inside: inflate the whole block.
                 compressed = self.reader.read_bytes(comp_len)
                 self.ctx.cost.charge_raw_scan(self.ctx.metrics, comp_len)
                 self.ctx.cost.charge_block_inflate_setup(self.ctx.metrics)
                 raw = self._codec.decompress(
-                    compressed, self.ctx.cost, self.ctx.metrics
+                    compressed, self.ctx.cost, self.ctx.metrics,
+                    registry=self.ctx.obs.registry,
                 )
                 self._block_reader = ByteReader(raw)
                 self._block_decoder = BinaryDecoder(

@@ -20,9 +20,10 @@ a stable copy.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.columnio import ColumnReader
+from repro.obs import NULL_OBS, Observability
 from repro.serde.record import Record
 from repro.serde.schema import Schema, SchemaError
 
@@ -30,15 +31,29 @@ from repro.serde.schema import Schema, SchemaError
 class LazyRecord:
     """A record whose fields deserialize on first access (per record)."""
 
-    def __init__(self, schema: Schema, readers: Dict[str, ColumnReader]) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        readers: Dict[str, ColumnReader],
+        obs: Optional[Observability] = None,
+    ) -> None:
         schema._require_record()
         self.schema = schema
         self._readers = readers
         self._row = -1
         self._cache: Dict[str, object] = {}
+        registry = (obs if obs is not None else NULL_OBS).registry
+        self._obs_records = registry.counter("lazy.records")
+        self._obs_materialized = registry.counter("lazy.cells.materialized")
+        self._obs_skipped = registry.counter("lazy.cells.skipped")
 
     def _advance(self, row: int) -> None:
         """Move to record ``row`` (called by the record reader)."""
+        if self._row >= 0:
+            # Settle the previous record's books: projected columns the
+            # map function never touched were skipped, not deserialized.
+            self._obs_skipped.inc(len(self._readers) - len(self._cache))
+        self._obs_records.inc()
         self._row = row
         self._cache.clear()
 
@@ -51,6 +66,7 @@ class LazyRecord:
             raise SchemaError(
                 f"column {name!r} is not in this reader's projection"
             )
+        self._obs_materialized.inc()
         # lastPos (reader.next_index) catches up to curPos (self._row):
         # the records in between are skipped, not deserialized.
         reader.sync_to(self._row)

@@ -166,6 +166,7 @@ class RCFileRecordReader(RecordReader):
             node=ctx.node,
             metrics=ctx.metrics,
             buffer_size=ctx.io_buffer_size,
+            probe=ctx.obs.stream_probe(file=split.path, format="rcfile"),
         )
         # Every row group is preceded by a sync marker (including the
         # first), so both the 0-offset and mid-file cases resynchronize
@@ -217,7 +218,7 @@ class RCFileRecordReader(RecordReader):
             if self.header.codec:
                 ctx.cost.charge_block_inflate_setup(ctx.metrics)
                 data = get_codec(self.header.codec).decompress(
-                    data, ctx.cost, ctx.metrics
+                    data, ctx.cost, ctx.metrics, registry=ctx.obs.registry
                 )
             dec = BinaryDecoder(ByteReader(data), ctx.cost, ctx.metrics)
             field_schema = self.header.schema.fields[index].schema

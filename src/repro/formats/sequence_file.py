@@ -160,6 +160,7 @@ class SequenceFileRecordReader(RecordReader):
             node=ctx.node,
             metrics=ctx.metrics,
             buffer_size=ctx.io_buffer_size,
+            probe=ctx.obs.stream_probe(file=split.path, format="seq"),
         )
         if split.start == 0:
             start = self._header_end(fs, split.path)
@@ -223,7 +224,9 @@ class SequenceFileRecordReader(RecordReader):
             compressed = reader.read_len_prefixed()
             ctx.cost.charge_raw_scan(ctx.metrics, len(compressed))
             ctx.cost.charge_block_inflate_setup(ctx.metrics)
-            raw = self._codec.decompress(compressed, ctx.cost, ctx.metrics)
+            raw = self._codec.decompress(
+                compressed, ctx.cost, ctx.metrics, registry=ctx.obs.registry
+            )
             dec = BinaryDecoder(ByteReader(raw), ctx.cost, ctx.metrics)
             return dec.read_datum(self.header.schema)
         value_len = reader.read_varint()
@@ -243,7 +246,9 @@ class SequenceFileRecordReader(RecordReader):
         compressed = reader.read_len_prefixed()
         ctx.cost.charge_raw_scan(ctx.metrics, len(compressed))
         ctx.cost.charge_block_inflate_setup(ctx.metrics)
-        raw = self._codec.decompress(compressed, ctx.cost, ctx.metrics)
+        raw = self._codec.decompress(
+            compressed, ctx.cost, ctx.metrics, registry=ctx.obs.registry
+        )
         dec = BinaryDecoder(ByteReader(raw), ctx.cost, ctx.metrics)
         self._block = []
         for _ in range(count):

@@ -86,6 +86,7 @@ class TextRecordReader(RecordReader):
             node=ctx.node,
             metrics=ctx.metrics,
             buffer_size=ctx.io_buffer_size,
+            probe=ctx.obs.stream_probe(file=split.path, format="txt"),
         )
         self._lines = _LineReader(self._stream, split.start)
         if split.start > 0:

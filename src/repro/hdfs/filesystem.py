@@ -102,6 +102,7 @@ class FileSystem:
         metrics: Optional[Metrics] = None,
         buffer_size: Optional[int] = None,
         bandwidth_scale: float = 1.0,
+        probe=None,
     ) -> HdfsInputStream:
         """Open a buffered input stream.
 
@@ -109,6 +110,8 @@ class FileSystem:
         out-of-band access, e.g. loaders and tests, which read free of
         charge when ``metrics`` is None and locally otherwise).
         ``bandwidth_scale`` < 1 models interleaved multi-file scans.
+        ``probe`` is an observability :class:`~repro.obs.StreamProbe`
+        attributing this stream's fetches to labeled counters.
         """
         blocks = self.namenode.blocks_of(path)
         return HdfsInputStream(
@@ -120,6 +123,7 @@ class FileSystem:
             disk=self.cluster.disk,
             network=self.cluster.network,
             bandwidth_scale=bandwidth_scale,
+            probe=probe,
         )
 
     def write_file(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.hdfs.namenode import BlockInfo
+from repro.obs import NULL_STREAM_PROBE, StreamProbe
 from repro.sim.metrics import Metrics
 from repro.util.buffers import ByteReader
 from repro.util.varint import VarintError, decode_varint
@@ -76,12 +77,14 @@ class HdfsInputStream:
         disk=None,
         network=None,
         bandwidth_scale: float = 1.0,
+        probe: Optional[StreamProbe] = None,
     ) -> None:
         self._blocks = blocks
         self._payload_of = payload_of
         self._buffer_size = buffer_size
         self._node = node
         self._metrics = metrics
+        self._probe = probe if probe is not None else NULL_STREAM_PROBE
         self._disk = disk
         self._network = network
         self._bandwidth_scale = bandwidth_scale
@@ -122,6 +125,7 @@ class HdfsInputStream:
             return b""
         if self._metrics is not None:
             self._metrics.requested_bytes += n
+            self._probe.on_request(n)
         out = bytearray()
         while n > 0:
             window_off = self.pos - self._window_start
@@ -171,6 +175,7 @@ class HdfsInputStream:
         self._window_start = start
         self._last_fetch_end = end
         if self._metrics is not None:
+            self._probe.on_fetch(local_bytes, remote_bytes, seeking)
             if local_bytes and self._disk is not None:
                 self._disk.charge_read(
                     self._metrics,

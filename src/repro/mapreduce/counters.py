@@ -3,17 +3,32 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 class Counters:
-    """Named monotonic counters, mergeable across tasks."""
+    """Named monotonic counters, mergeable across tasks.
 
-    def __init__(self) -> None:
+    Behaves like a read-only mapping (``iter``/``len``/``in`` over
+    counter names) on top of the classic ``increment``/``get``/``merge``
+    API.  Every ``increment`` is mirrored into the active observability
+    registry as ``mapreduce.counters{name=...}`` so flight recordings
+    see raw per-task increments; ``merge`` is pure aggregation and
+    bypasses the registry (the merged increments were already mirrored
+    when they happened — mirroring again would double-count).
+    """
+
+    def __init__(self, registry=None) -> None:
         self._values: Dict[str, int] = defaultdict(int)
+        if registry is None:
+            from repro.obs import current_obs
+
+            registry = current_obs().registry
+        self._registry = registry
 
     def increment(self, name: str, amount: int = 1) -> None:
         self._values[name] += amount
+        self._registry.counter("mapreduce.counters", name=name).inc(amount)
 
     def get(self, name: str) -> int:
         return self._values.get(name, 0)
@@ -27,6 +42,25 @@ class Counters:
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self._values)
+
+    # -- mapping protocol ---------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._values))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> int:
+        if name not in self._values:
+            raise KeyError(name)
+        return self._values[name]
+
+    def keys(self):
+        return sorted(self._values)
 
     def __repr__(self) -> str:
         return f"Counters({dict(sorted(self._values.items()))!r})"

@@ -28,6 +28,7 @@ from repro.mapreduce.scheduler import (
     simulate_wave_makespan,
 )
 from repro.mapreduce.types import InputSplit, TaskContext
+from repro.obs import Observability, current_obs
 from repro.sim.metrics import Metrics
 
 #: CPU charge per key comparison in the reduce-side sort.
@@ -85,10 +86,23 @@ class JobResult:
 class JobRunner:
     """Executes jobs against one simulated filesystem/cluster."""
 
-    def __init__(self, fs: FileSystem) -> None:
+    def __init__(
+        self, fs: FileSystem, obs: Optional[Observability] = None
+    ) -> None:
         self.fs = fs
+        self.obs = obs if obs is not None else current_obs()
 
     def run(self, job: Job) -> JobResult:
+        obs = self.obs
+        with obs.tracer.span("job", kind="job", job=job.name) as job_span:
+            result = self._run_traced(job, obs)
+        job_span.set("total_time", result.total_time)
+        obs.record_metrics(f"job:{job.name}:map", result.map_metrics)
+        obs.record_metrics(f"job:{job.name}:reduce", result.reduce_metrics)
+        obs.record_counters(f"job:{job.name}", result.counters)
+        return result
+
+    def _run_traced(self, job: Job, obs: Observability) -> JobResult:
         cluster = self.fs.cluster
         splits = job.input_format.get_splits(self.fs, cluster)
         counters = Counters()
@@ -99,19 +113,36 @@ class JobRunner:
                 node=node,
                 cost=job.cost,
                 io_buffer_size=cluster.io_buffer_size,
+                obs=obs,
             )
             partitions = self._run_map_task(job, split, ctx)
             map_outputs.append(partitions)
             counters.merge(ctx.counters)
             return ctx.metrics
 
-        tasks = schedule_map_tasks(
-            splits,
-            cluster.num_nodes,
-            cluster.map_slots_per_node,
-            execute,
-            speculative=job.speculative,
-        )
+        with obs.tracer.span("map_phase", kind="phase", splits=len(splits)):
+            tasks = schedule_map_tasks(
+                splits,
+                cluster.num_nodes,
+                cluster.map_slots_per_node,
+                execute,
+                speculative=job.speculative,
+                obs=obs,
+            )
+            for task in tasks:
+                obs.tracer.record_span(
+                    "map_task",
+                    kind="task",
+                    sim_start=task.start,
+                    sim_duration=task.duration,
+                    sim_io=task.metrics.io_time,
+                    sim_cpu=task.metrics.cpu_time,
+                    split=task.split.label,
+                    node=task.node,
+                    data_local=task.data_local,
+                    speculative=task.speculative,
+                    killed=task.killed,
+                )
         # map_outputs is appended in execution order, which matches the
         # task list; attempts that lost a speculative race contribute
         # cluster time but not output.
@@ -143,7 +174,8 @@ class JobRunner:
             # is already inside each task's metrics budget in Hadoop, but
             # for map-only jobs we charge it to the reduce side as zero.
             writer_ctx = TaskContext(
-                node=None, cost=job.cost, io_buffer_size=cluster.io_buffer_size
+                node=None, cost=job.cost,
+                io_buffer_size=cluster.io_buffer_size, obs=obs,
             )
             writer = output_format.open_writer(self.fs, 0, writer_ctx)
             for partitions in map_outputs:
@@ -154,16 +186,32 @@ class JobRunner:
             reduce_makespan = 0.0
         else:
             durations = []
-            for r in range(job.num_reducers):
-                ctx = TaskContext(
-                    node=None,
-                    cost=job.cost,
-                    io_buffer_size=cluster.io_buffer_size,
-                )
-                self._run_reduce_task(job, r, map_outputs, output_format, ctx)
-                counters.merge(ctx.counters)
-                reduce_metrics.add(ctx.metrics)
-                durations.append(ctx.metrics.task_time)
+            with obs.tracer.span(
+                "reduce_phase", kind="phase", reducers=job.num_reducers,
+                metrics=reduce_metrics,
+            ):
+                for r in range(job.num_reducers):
+                    ctx = TaskContext(
+                        node=None,
+                        cost=job.cost,
+                        io_buffer_size=cluster.io_buffer_size,
+                        obs=obs,
+                    )
+                    self._run_reduce_task(
+                        job, r, map_outputs, output_format, ctx
+                    )
+                    counters.merge(ctx.counters)
+                    reduce_metrics.add(ctx.metrics)
+                    durations.append(ctx.metrics.task_time)
+                    obs.tracer.record_span(
+                        "reduce_task",
+                        kind="task",
+                        sim_start=0.0,
+                        sim_duration=ctx.metrics.task_time,
+                        sim_io=ctx.metrics.io_time,
+                        sim_cpu=ctx.metrics.cpu_time,
+                        partition=r,
+                    )
             reduce_makespan = simulate_wave_makespan(
                 durations, cluster.total_reduce_slots
             )
@@ -222,6 +270,7 @@ class JobRunner:
         )
         if spill_bytes:
             self.fs.cluster.disk.charge_write(ctx.metrics, spill_bytes)
+            ctx.obs.registry.counter("mr.spill.bytes").inc(spill_bytes)
         return partitions
 
     def _combine(
@@ -251,6 +300,7 @@ class JobRunner:
                 shuffle_bytes += estimate_pair_size(key, value)
         if shuffle_bytes:
             self.fs.cluster.network.charge_shuffle(ctx.metrics, shuffle_bytes)
+            ctx.obs.registry.counter("mr.shuffle.bytes").inc(shuffle_bytes)
         pairs.sort(key=lambda kv: _sort_key(kv[0]))
         if pairs:
             comparisons = len(pairs) * max(1, int(math.log2(len(pairs)) + 1))

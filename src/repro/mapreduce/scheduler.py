@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.mapreduce.types import InputSplit
+from repro.obs import NULL_OBS, Observability
 from repro.sim.metrics import Metrics
 
 
@@ -43,6 +44,7 @@ def schedule_map_tasks(
     slots_per_node: int,
     execute: Callable[[InputSplit, int], Metrics],
     speculative: bool = False,
+    obs: Optional[Observability] = None,
 ) -> List[ScheduledTask]:
     """Run every split on the simulated cluster; returns executed tasks.
 
@@ -56,6 +58,8 @@ def schedule_map_tasks(
     attempts' durations count — speculation trades cluster work for
     wall-clock time, exactly as in Hadoop.
     """
+    obs = obs if obs is not None else NULL_OBS
+    placements = obs.registry
     pending = list(range(len(splits)))
     # Min-heap of (free_time, node, slot). Node order within equal times
     # keeps ties deterministic.
@@ -69,6 +73,9 @@ def schedule_map_tasks(
 
     def assign(now: float, node: int, slot: int, index: int, local: bool):
         split = splits[index]
+        placements.counter(
+            "scheduler.assignments", placement="local" if local else "remote"
+        ).inc()
         metrics = execute(split, node)
         duration = metrics.task_time
         tasks.append(ScheduledTask(split, node, now, duration, metrics, local))
@@ -99,7 +106,7 @@ def schedule_map_tasks(
                 break
             assign(now, node, slot, pending.pop(0), False)
     if speculative:
-        _speculate(tasks, slots, execute)
+        _speculate(tasks, slots, execute, obs)
     return tasks
 
 
@@ -107,6 +114,7 @@ def _speculate(
     tasks: List[ScheduledTask],
     slots: List,
     execute: Callable[[InputSplit, int], Metrics],
+    obs: Observability = NULL_OBS,
 ) -> None:
     """Duplicate slow non-local tasks onto idle data-local slots."""
     speculated = set()
@@ -136,10 +144,12 @@ def _speculate(
             # moment the duplicate commits.
             victim.duration = duplicate.end - victim.start
             victim.killed = True
+            obs.registry.counter("scheduler.speculation", outcome="won").inc()
         else:
             # The original finishes first; the duplicate dies with it.
             duplicate.duration = max(0.0, victim.end - now)
             duplicate.killed = True
+            obs.registry.counter("scheduler.speculation", outcome="lost").inc()
         tasks.append(duplicate)
         heapq.heappush(slots, (duplicate.end, node, slot))
         # A slot only speculates once per freeing; when it frees again

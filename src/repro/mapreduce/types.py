@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.mapreduce.counters import Counters
+from repro.obs import Observability, current_obs
 from repro.sim.cost import CpuCostModel
 from repro.sim.metrics import Metrics
 
@@ -43,11 +44,15 @@ class TaskContext:
         cost: CpuCostModel,
         io_buffer_size: int,
         counters: Optional[Counters] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.node = node
         self.cost = cost
         self.metrics = Metrics()
         self.io_buffer_size = io_buffer_size
+        # Resolved once per task: the no-op NULL_OBS unless a flight
+        # recorder is active, so instrumented readers stay zero-cost.
+        self.obs = obs if obs is not None else current_obs()
         self.counters = counters if counters is not None else Counters()
 
     def charge_predicate(self, text) -> None:

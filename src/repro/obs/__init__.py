@@ -1,0 +1,81 @@
+"""repro.obs — tracing, metrics, and the per-job flight recorder.
+
+The observability subsystem gives every run three instruments:
+
+- a **metric registry** (:mod:`repro.obs.registry`): labeled counters,
+  gauges and fixed-boundary histograms with snapshot/merge semantics;
+- a **tracer** (:mod:`repro.obs.trace`): nested job → phase → task →
+  op spans on both the wall clock and the simulated clock;
+- a **flight recorder** (:mod:`repro.obs.recorder`): collects spans,
+  registry snapshots, ``sim.Metrics`` and job ``Counters`` into one
+  :class:`RunReport`, exportable as JSONL and renderable as ASCII.
+
+Everything is zero-overhead by default: code paths hold the ambient
+:data:`NULL_OBS` (no-op tracer/registry) until a recorder is activated::
+
+    from repro.obs import FlightRecorder
+
+    rec = FlightRecorder()
+    with rec.activate():
+        result = run_job(fs, job)          # instrumented automatically
+    rec.report().write_jsonl("run.jsonl")  # `repro report run.jsonl`
+
+See ``docs/observability.md`` for the span model, the metric naming
+scheme, and the JSONL schema.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import NullTracer, Span, Tracer, NULL_TRACER
+from repro.obs.recorder import (
+    FlightRecorder,
+    NULL_OBS,
+    NULL_STREAM_PROBE,
+    Observability,
+    RunReport,
+    StreamProbe,
+)
+
+#: the ambient observability; FlightRecorder.activate() swaps it in
+_ACTIVE: ContextVar[Observability] = ContextVar("repro_obs", default=NULL_OBS)
+
+
+def current_obs() -> Observability:
+    """The active observability (the no-op :data:`NULL_OBS` by default).
+
+    Task contexts, the job runner and the bench harness call this at
+    construction time, so activating a :class:`FlightRecorder` is all it
+    takes to instrument a run — no parameter plumbing.
+    """
+    return _ACTIVE.get()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "FlightRecorder",
+    "NULL_OBS",
+    "NULL_STREAM_PROBE",
+    "Observability",
+    "RunReport",
+    "StreamProbe",
+    "current_obs",
+]

@@ -1,0 +1,405 @@
+"""Per-job flight recorder: spans + metrics + counters in one artifact.
+
+An :class:`Observability` bundles the two instruments — a
+:class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.registry.MetricRegistry` — that instrumented code
+reaches through ``ctx.obs``.  The default instance is :data:`NULL_OBS`,
+whose parts are all no-ops, so instrumentation costs nothing until a
+recorder is activated.
+
+A :class:`FlightRecorder` is a *live* Observability that additionally
+collects :class:`~repro.sim.metrics.Metrics` snapshots and
+``mapreduce.Counters`` dumps as jobs/scans complete.  ``report()``
+freezes everything into a :class:`RunReport`, which serializes to JSONL
+(one self-describing record per line) and renders as ASCII tables.
+
+JSONL schema (see ``docs/observability.md``):
+
+- ``{"type": "meta", ...}`` — one header line
+- ``{"type": "span", "id", "parent", "name", "kind", "wall_start",
+  "wall_end", ["sim_start", "sim_duration", "sim_io", "sim_cpu",]
+  ["attrs"]}``
+- ``{"type": "counter"|"gauge", "name", "labels", "value"}``
+- ``{"type": "histogram", "name", "labels", "boundaries", "counts",
+  "sum", "count"}``
+- ``{"type": "metrics", "label", <Metrics fields>}``
+- ``{"type": "counters", "label", "values"}``
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+#: Metrics fields serialized into ``metrics`` records, in schema order.
+_METRICS_FIELDS = (
+    "disk_bytes", "net_bytes", "requested_bytes", "seeks",
+    "io_time", "cpu_time", "records", "cells", "objects",
+)
+
+#: fetch-size histogram buckets: readahead-window-ish byte sizes
+FETCH_BOUNDARIES = (
+    1024, 4096, 12 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 4 * 1024 * 1024,
+)
+
+
+class StreamProbe:
+    """Per-stream byte/seek attribution, bound to labeled counters.
+
+    One probe is attached per opened :class:`HdfsInputStream` (labels
+    identify the file — and for CIF, the column), so per-column bytes,
+    seeks and readahead waste can be reconciled against the task's
+    aggregate ``sim.Metrics``.
+    """
+
+    __slots__ = ("_disk", "_net", "_requested", "_seeks", "_fetches", "_sizes")
+
+    def __init__(self, registry: MetricRegistry, labels: Dict[str, object]):
+        self._disk = registry.counter("hdfs.bytes.disk", **labels)
+        self._net = registry.counter("hdfs.bytes.net", **labels)
+        self._requested = registry.counter("hdfs.bytes.requested", **labels)
+        self._seeks = registry.counter("hdfs.seeks", **labels)
+        self._fetches = registry.counter("hdfs.fetches", **labels)
+        self._sizes = registry.histogram(
+            "hdfs.fetch.bytes", FETCH_BOUNDARIES, **labels
+        )
+
+    def on_request(self, nbytes: int) -> None:
+        """The reader asked for ``nbytes`` (pre-readahead)."""
+        self._requested.inc(nbytes)
+
+    def on_fetch(self, local_bytes: int, remote_bytes: int, seek: bool) -> None:
+        """One readahead fetch hit disk/network for this many bytes."""
+        if local_bytes:
+            self._disk.inc(local_bytes)
+        if remote_bytes:
+            self._net.inc(remote_bytes)
+        if seek:
+            self._seeks.inc()
+        self._fetches.inc()
+        self._sizes.observe(local_bytes + remote_bytes)
+
+
+class NullStreamProbe(StreamProbe):
+    """Shared no-op probe installed on every stream by default."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
+
+    def on_request(self, nbytes: int) -> None:
+        pass
+
+    def on_fetch(self, local_bytes, remote_bytes, seek) -> None:
+        pass
+
+
+NULL_STREAM_PROBE = NullStreamProbe()
+
+
+class Observability:
+    """What instrumented code holds: a tracer plus a registry."""
+
+    __slots__ = ("tracer", "registry", "enabled")
+
+    def __init__(
+        self, tracer: Tracer, registry: MetricRegistry, enabled: bool = True
+    ) -> None:
+        self.tracer = tracer
+        self.registry = registry
+        self.enabled = enabled
+
+    def stream_probe(self, **labels) -> StreamProbe:
+        """A byte-attribution probe for one stream (no-op when off)."""
+        if not self.enabled:
+            return NULL_STREAM_PROBE
+        return StreamProbe(self.registry, labels)
+
+    # Collection hooks; only the FlightRecorder stores anything.
+
+    def record_metrics(self, label: str, metrics) -> None:
+        pass
+
+    def record_counters(self, label: str, counters) -> None:
+        pass
+
+
+NULL_OBS = Observability(NULL_TRACER, NULL_REGISTRY, enabled=False)
+
+
+class _Activation:
+    """Context manager installing a recorder as the ambient obs."""
+
+    __slots__ = ("_obs", "_token")
+
+    def __init__(self, obs: Observability) -> None:
+        self._obs = obs
+        self._token = None
+
+    def __enter__(self) -> Observability:
+        from repro import obs as _obs_pkg
+
+        self._token = _obs_pkg._ACTIVE.set(self._obs)
+        return self._obs
+
+    def __exit__(self, *exc) -> None:
+        from repro import obs as _obs_pkg
+
+        _obs_pkg._ACTIVE.reset(self._token)
+
+
+class FlightRecorder(Observability):
+    """A live recording: activate it, run work, then ``report()``.
+
+    ``clock`` is injectable for determinism — pass a fake monotonic
+    counter and two identical runs produce byte-identical JSONL (wall
+    timestamps included), which the accounting-invariant tests assert.
+    """
+
+    __slots__ = ("meta", "metrics_log", "counters_log")
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        meta: Optional[dict] = None,
+    ) -> None:
+        super().__init__(Tracer(clock=clock), MetricRegistry(), enabled=True)
+        self.meta = dict(meta or {})
+        self.metrics_log: List[Tuple[str, dict]] = []
+        self.counters_log: List[Tuple[str, Dict[str, int]]] = []
+
+    def activate(self) -> _Activation:
+        """``with recorder.activate(): ...`` — contexts created inside
+
+        (TaskContext, JobRunner, harness.scan) pick this recorder up as
+        their ambient observability.
+        """
+        return _Activation(self)
+
+    def record_metrics(self, label: str, metrics) -> None:
+        snap = {name: getattr(metrics, name) for name in _METRICS_FIELDS}
+        extra = getattr(metrics, "extra", None)
+        if extra:
+            snap["extra"] = dict(sorted(extra.items()))
+        self.metrics_log.append((label, snap))
+
+    def record_counters(self, label: str, counters) -> None:
+        self.counters_log.append(
+            (label, dict(sorted(counters.as_dict().items())))
+        )
+
+    def report(self) -> "RunReport":
+        return RunReport(
+            meta=dict(self.meta),
+            spans=[span.to_dict() for span in self.tracer.spans],
+            metrics=[
+                {"label": label, **snap} for label, snap in self.metrics_log
+            ],
+            counters=[
+                {"label": label, "values": values}
+                for label, values in self.counters_log
+            ],
+            registry=self.registry.snapshot(),
+        )
+
+
+class RunReport:
+    """The frozen artifact: everything one run's flight recorder saw."""
+
+    def __init__(
+        self,
+        meta: dict,
+        spans: List[dict],
+        metrics: List[dict],
+        counters: List[dict],
+        registry: List[dict],
+    ) -> None:
+        self.meta = meta
+        self.spans = spans
+        self.metrics = metrics
+        self.counters = counters
+        self.registry = registry
+
+    # -- aggregate views ----------------------------------------------
+
+    def counter_total(self, name: str, /, **labels) -> float:
+        """Sum of every registry counter matching ``name`` + labels."""
+        want = set((k, str(v)) for k, v in labels.items())
+        return sum(
+            entry["value"]
+            for entry in self.registry
+            if entry["kind"] == "counter"
+            and entry["name"] == name
+            and want <= set(entry["labels"].items())
+        )
+
+    def metrics_total(self, field: str) -> float:
+        """Sum of one Metrics field across every recorded snapshot."""
+        return sum(snap.get(field, 0) for snap in self.metrics)
+
+    def per_column_bytes(self) -> Dict[str, int]:
+        """``column -> disk+net bytes`` from the stream-probe counters."""
+        out: Dict[str, int] = {}
+        for entry in self.registry:
+            if entry["kind"] != "counter":
+                continue
+            if entry["name"] not in ("hdfs.bytes.disk", "hdfs.bytes.net"):
+                continue
+            column = entry["labels"].get("column")
+            if column is None:
+                continue
+            out[column] = out.get(column, 0) + entry["value"]
+        return out
+
+    # -- serialization -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps({"type": "meta", **self.meta}, sort_keys=True)]
+        for span in self.spans:
+            lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+        for entry in self.registry:
+            lines.append(json.dumps({"type": entry["kind"], **{
+                k: v for k, v in entry.items() if k != "kind"
+            }}, sort_keys=True))
+        for snap in self.metrics:
+            lines.append(json.dumps({"type": "metrics", **snap}, sort_keys=True))
+        for dump in self.counters:
+            lines.append(json.dumps({"type": "counters", **dump}, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RunReport":
+        meta: dict = {}
+        spans: List[dict] = []
+        metrics: List[dict] = []
+        counters: List[dict] = []
+        registry: List[dict] = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind = record.pop("type")
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"line {lineno} is not a flight-recorder record: {exc}"
+                ) from exc
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind in ("counter", "gauge", "histogram"):
+                registry.append({"kind": kind, **record})
+            elif kind == "metrics":
+                metrics.append(record)
+            elif kind == "counters":
+                counters.append(record)
+            else:
+                raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+        return cls(meta, spans, metrics, counters, registry)
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path) as handle:
+            return cls.from_jsonl(handle.read())
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, top: int = 12, width: int = 48) -> str:
+        """ASCII flight-recorder readout: top spans, per-column bytes,
+
+        recorded metrics and counters.  Uses the same terminal plotting
+        helpers as the figure experiments.
+        """
+        from repro.bench.ascii_plot import bar_chart
+
+        sections: List[str] = []
+        if self.meta:
+            sections.append(
+                "flight recorder: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+            )
+
+        timed = [
+            span for span in self.spans
+            if span.get("sim_duration") or span["wall_end"] > span["wall_start"]
+        ]
+
+        def span_time(span: dict) -> float:
+            sim = span.get("sim_duration")
+            return sim if sim is not None else span["wall_end"] - span["wall_start"]
+
+        timed.sort(key=span_time, reverse=True)
+        if timed:
+            bars = {}
+            for span in timed[:top]:
+                label = f"{span['name']}#{span['id']} ({span['kind']})"
+                bars[label] = span_time(span)
+            sections.append(bar_chart(
+                bars,
+                title=f"Top spans by time ({len(self.spans)} spans total)",
+                width=width,
+                unit=" s",
+            ))
+
+        columns = self.per_column_bytes()
+        if columns:
+            lines = ["Per-column bytes read (disk + net)"]
+            col_width = max(len(c) for c in columns)
+            for column in sorted(columns):
+                lines.append(
+                    f"  {column.ljust(col_width)}  {columns[column]:>12,}"
+                )
+            lines.append(
+                f"  {'TOTAL'.ljust(col_width)}  {sum(columns.values()):>12,}"
+            )
+            sections.append("\n".join(lines))
+
+        if self.metrics:
+            lines = ["Recorded metrics snapshots"]
+            for snap in self.metrics:
+                lines.append(
+                    f"  {snap['label']}: "
+                    f"disk={snap.get('disk_bytes', 0):,}B "
+                    f"net={snap.get('net_bytes', 0):,}B "
+                    f"seeks={snap.get('seeks', 0)} "
+                    f"io={snap.get('io_time', 0.0):.4f}s "
+                    f"cpu={snap.get('cpu_time', 0.0):.4f}s"
+                )
+            sections.append("\n".join(lines))
+
+        if self.counters:
+            lines = ["Job counters"]
+            for dump in self.counters:
+                lines.append(f"  {dump['label']}:")
+                for name, value in sorted(dump["values"].items()):
+                    lines.append(f"    {name} = {value:,}")
+            sections.append("\n".join(lines))
+
+        waste = self.counter_total("hdfs.bytes.disk") + self.counter_total(
+            "hdfs.bytes.net"
+        ) - self.counter_total("hdfs.bytes.requested")
+        if self.counter_total("hdfs.fetches"):
+            sections.append(
+                f"Readahead waste: {int(waste):,} bytes over "
+                f"{int(self.counter_total('hdfs.fetches')):,} fetches, "
+                f"{int(self.counter_total('hdfs.seeks')):,} seeks"
+            )
+
+        if not sections:
+            sections.append("(empty flight recording)")
+        return "\n\n".join(sections)

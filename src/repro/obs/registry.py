@@ -1,0 +1,288 @@
+"""Labeled metric registry: counters, gauges, fixed-boundary histograms.
+
+The registry is the accounting substrate of the observability subsystem
+(`repro.obs`).  Hot paths obtain a metric handle once — usually at
+reader/stream construction — and then call ``inc()``/``set()``/
+``observe()`` on it; the handle is a bare slotted object so the cost of
+an increment is one attribute add.
+
+Observability is **zero-overhead by default**: when no flight recorder
+is active, code sees a :class:`NullRegistry`, whose factory methods hand
+back shared no-op metric instances.  Instrumentation therefore never
+needs an ``if enabled`` guard of its own.
+
+Naming scheme (see ``docs/observability.md``): dotted lowercase
+``subsystem.noun[.qualifier]`` metric names (``hdfs.bytes.disk``,
+``column.skiplist.jumps``) with identity carried by labels
+(``column="url"``, ``codec="zlib"``), never baked into the name.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: canonical label form: sorted ``(key, value)`` pairs
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (bytes, seeks, calls...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (queue depth...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+#: default histogram boundaries: byte-ish powers of four up to 16 MB
+DEFAULT_BOUNDARIES = tuple(4 ** k for k in range(2, 13))
+
+
+class Histogram:
+    """Fixed-boundary histogram; bucket ``i`` counts values <= bound ``i``.
+
+    Boundaries are fixed at registration so snapshots from different
+    tasks/runs merge bucket-by-bucket without re-binning.
+    """
+
+    __slots__ = ("boundaries", "counts", "total", "count")
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_BOUNDARIES):
+        self.boundaries = tuple(boundaries)
+        if any(a >= b for a, b in zip(self.boundaries, self.boundaries[1:])):
+            raise ValueError(f"boundaries must ascend: {self.boundaries}")
+        #: one bucket per boundary plus the overflow bucket
+        self.counts = [0] * (len(self.boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class NullCounter(Counter):
+    """Shared do-nothing counter handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_KINDS = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricRegistry:
+    """Holds every (name, labels) -> metric binding of one recording.
+
+    Re-registering the same name+labels returns the existing instance;
+    registering the same pair as a different metric kind is an error
+    (it would make snapshots ambiguous).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+
+    # -- factories -----------------------------------------------------
+
+    # ``name`` is positional-only so it never collides with a label
+    # key: ``registry.counter("mapreduce.counters", name="map.tasks")``
+    # labels the counter with name=map.tasks.
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return self._get_or_create(name, _label_key(labels), Counter)
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return self._get_or_create(name, _label_key(labels), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        boundaries: Sequence[float] = DEFAULT_BOUNDARIES,
+        **labels,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(boundaries)
+        elif type(metric) is not Histogram:
+            raise ValueError(f"{name}{dict(key[1])} is not a histogram")
+        elif metric.boundaries != tuple(boundaries):
+            raise ValueError(
+                f"histogram {name} re-registered with different boundaries"
+            )
+        return metric
+
+    def _get_or_create(self, name: str, key: LabelSet, cls):
+        metric = self._metrics.get((name, key))
+        if metric is None:
+            metric = self._metrics[(name, key)] = cls()
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"{name}{dict(key)} already registered as "
+                f"{_KINDS.get(type(metric), type(metric).__name__)}"
+            )
+        return metric
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Tuple[str, LabelSet, object]]:
+        """Deterministic (name, labels, metric) iteration."""
+        for (name, labels) in sorted(self._metrics):
+            yield name, labels, self._metrics[(name, labels)]
+
+    def find(self, name: str, /, **labels) -> List[Tuple[LabelSet, object]]:
+        """All metrics called ``name`` whose labels include ``labels``."""
+        want = set(_label_key(labels))
+        return [
+            (key, metric)
+            for (n, key), metric in sorted(
+                self._metrics.items(), key=lambda kv: kv[0]
+            )
+            if n == name and want <= set(key)
+        ]
+
+    def value_of(self, name: str, /, default: float = 0, **labels) -> float:
+        """Sum of counter/gauge values matching ``name`` + ``labels``."""
+        found = self.find(name, **labels)
+        if not found:
+            return default
+        return sum(metric.value for _, metric in found)
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """A deterministic, JSON-ready dump of every metric."""
+        out: List[dict] = []
+        for name, labels, metric in self:
+            entry = {"name": name, "labels": dict(labels)}
+            if type(metric) is Histogram:
+                entry["kind"] = "histogram"
+                entry["boundaries"] = list(metric.boundaries)
+                entry["counts"] = list(metric.counts)
+                entry["sum"] = metric.total
+                entry["count"] = metric.count
+            else:
+                entry["kind"] = _KINDS[type(metric)]
+                entry["value"] = metric.value
+            out.append(entry)
+        return out
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold another registry in: counters/histograms add, gauges
+
+        take the incoming value (last writer wins, as when a task's
+        registry folds into the job's).
+        """
+        for name, labels, metric in other:
+            if type(metric) is Counter:
+                self._get_or_create(name, labels, Counter).inc(metric.value)
+            elif type(metric) is Gauge:
+                self._get_or_create(name, labels, Gauge).set(metric.value)
+            elif type(metric) is Histogram:
+                mine = self._metrics.get((name, labels))
+                if mine is None:
+                    mine = self._metrics[(name, labels)] = Histogram(
+                        metric.boundaries
+                    )
+                if mine.boundaries != metric.boundaries:
+                    raise ValueError(
+                        f"cannot merge histogram {name}: boundary mismatch"
+                    )
+                for i, count in enumerate(metric.counts):
+                    mine.counts[i] += count
+                mine.total += metric.total
+                mine.count += metric.count
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry(MetricRegistry):
+    """The disabled registry: every factory returns a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, /, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        boundaries: Sequence[float] = DEFAULT_BOUNDARIES,
+        **labels,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> List[dict]:
+        return []
+
+    def merge(self, other: "MetricRegistry") -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

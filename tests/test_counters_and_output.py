@@ -34,6 +34,48 @@ class TestCounters:
         c.increment("k", 7)
         assert "k" in repr(c) and "7" in repr(c)
 
+    def test_mapping_protocol(self):
+        c = Counters()
+        c.increment("b", 2)
+        c.increment("a")
+        assert list(c) == ["a", "b"]
+        assert len(c) == 2
+        assert "a" in c and "missing" not in c
+        assert c["b"] == 2
+        assert c.keys() == ["a", "b"]
+        assert dict(c.items()) == {"a": 1, "b": 2}
+
+    def test_getitem_missing_raises_without_inserting(self):
+        c = Counters()
+        with pytest.raises(KeyError):
+            c["nope"]
+        assert len(c) == 0  # lookup must not create the key
+
+    def test_back_compat_merge_and_as_dict(self):
+        # the classic API is unchanged by the observability routing
+        a, b = Counters(), Counters()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y")
+        a.merge(b)
+        assert a.as_dict() == {"x": 5, "y": 1}
+        assert a.get("x") == 5 and a.get("gone") == 0
+
+    def test_increments_route_to_active_registry(self):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(clock=lambda: 0.0)
+        with recorder.activate():
+            c = Counters()
+            c.increment("map.tasks", 4)
+        assert recorder.registry.value_of(
+            "mapreduce.counters", name="map.tasks"
+        ) == 4
+        # without a recorder the registry is the shared no-op
+        c2 = Counters()
+        c2.increment("map.tasks", 4)
+        assert c2.get("map.tasks") == 4
+
 
 class TestPathNormalization:
     @pytest.mark.parametrize(

@@ -113,6 +113,72 @@ class TestCli:
             assert hasattr(experiment.module, "format_table"), name
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"], out=lambda s: None)
+        assert exc.value.code == 0
+        text = capsys.readouterr().out
+        assert text.startswith("repro ")
+        assert text.split()[1][0].isdigit()
+
+
+@pytest.fixture(scope="class")
+def fig7_trace(tmp_path_factory):
+    """One small traced fig7 run shared by the trace-CLI tests."""
+    target = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    code = main(
+        ["experiment", "fig7", "--records", "150",
+         "--trace-out", str(target)],
+        out=lambda s: None,
+    )
+    assert code == 0
+    return target
+
+
+class TestTraceCli:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_experiment_trace_out_writes_jsonl(self, fig7_trace):
+        import json
+
+        lines = fig7_trace.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        types = {r["type"] for r in records}
+        assert "span" in types and "metrics" in types and "counter" in types
+
+    def test_report_renders_trace(self, fig7_trace):
+        code, text = self.collect(["report", str(fig7_trace)])
+        assert code == 0
+        assert "flight recorder" in text
+        assert "Top spans by time" in text
+        assert "Per-column bytes read" in text
+
+    def test_report_trace_to_file(self, fig7_trace, tmp_path):
+        rendered = tmp_path / "report.txt"
+        code, _ = self.collect(
+            ["report", str(fig7_trace), "--out", str(rendered)]
+        )
+        assert code == 0
+        assert "flight recorder" in rendered.read_text()
+
+    def test_report_rejects_non_trace_file(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.jsonl"
+        bogus.write_text("this is not json\n")
+        code, text = self.collect(["report", str(bogus)])
+        assert code == 1
+        assert "error" in text
+
+    def test_report_missing_file(self, tmp_path):
+        code, text = self.collect(["report", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error" in text
+
+
 class TestReportCommand:
     def test_report_parser(self):
         from repro.cli import build_parser
