@@ -19,6 +19,7 @@ spans/metrics/counters artifact is written as JSONL; ``repro report
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -187,7 +188,92 @@ def build_parser() -> argparse.ArgumentParser:
             "(spans, metric registry, sim metrics, job counters) here"
         ),
     )
+    experiment.add_argument(
+        "--faults", dest="faults", default=None, metavar="PLAN",
+        help=(
+            "run under a fault plan (JSON, see docs/fault_tolerance.md): "
+            "every job executed by the experiment rides through the "
+            "plan's node kills, slow nodes, corruption and read errors"
+        ),
+    )
+
+    fsck = subcommands.add_parser(
+        "fsck",
+        help=(
+            "build a demo CIF dataset, optionally apply a fault plan, "
+            "and print the filesystem check report"
+        ),
+    )
+    fsck.add_argument(
+        "path", nargs="?", default="/data/crawl-cif",
+        help="dataset path to create and check (default /data/crawl-cif)",
+    )
+    fsck.add_argument(
+        "--records", type=int, default=300,
+        help="crawl records to load (default 300)",
+    )
+    fsck.add_argument(
+        "--nodes", type=int, default=8,
+        help="datanodes in the simulated cluster (default 8)",
+    )
+    fsck.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="apply every event of this fault plan before checking",
+    )
+    fsck.add_argument(
+        "--no-cpp", action="store_true",
+        help="load without the ColumnPlacementPolicy (no co-location)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help=(
+            "after applying faults, run the block scanner (evict corrupt "
+            "replicas) and a re-replication pass before reporting"
+        ),
+    )
     return parser
+
+
+def _run_fsck(args, out: Callable[[str], None]) -> int:
+    """``repro fsck``: exercise fault injection + repair, report health.
+
+    The simulator has no persistent namespace, so the command builds a
+    fresh CPP-placed CIF dataset at ``path``, fires the fault plan (if
+    given) against it — letting auto-repair and re-replication react —
+    and renders the resulting :class:`~repro.hdfs.FsckReport`.  Exit
+    status 0 means healthy (every block fully replicated with at least
+    one clean copy of every replica).
+    """
+    from repro.bench import harness
+    from repro.core import write_dataset
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.workloads.crawl import crawl_records, crawl_schema
+
+    fs = harness.cluster_fs(num_nodes=args.nodes)
+    if not args.no_cpp:
+        fs.use_column_placement()
+    write_dataset(
+        fs, args.path, crawl_schema(), crawl_records(args.records),
+        split_bytes=harness.MICRO_SPLIT_BYTES,
+    )
+    if args.faults:
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError, TypeError) as exc:
+            out(f"error: cannot load fault plan {args.faults}: {exc}")
+            return 1
+        fired = FaultInjector(fs, plan).fire_all()
+        out(f"applied {fired} fault event(s) from {args.faults}")
+        out("")
+    if args.repair:
+        evicted = fs.scrub()
+        created = fs.repair()
+        out(f"repair: evicted {evicted} corrupt replica(s), "
+            f"created {created} new replica(s)")
+        out("")
+    report = fs.fsck_report()
+    out(report.render())
+    return 0 if report.healthy else 1
 
 
 def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -> int:
@@ -236,6 +322,8 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         else:
             out(document)
         return 0
+    if args.command == "fsck":
+        return _run_fsck(args, out)
     if args.command == "experiment":
         names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
         recorder = None
@@ -245,18 +333,32 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
             recorder = FlightRecorder(
                 meta={"command": "experiment", "experiments": names}
             )
-        for name in names:
-            size = args.size if args.name != "all" else None
-            if recorder is not None:
-                with recorder.activate():
-                    with recorder.tracer.span(
-                        "experiment", kind="experiment", experiment=name
-                    ):
-                        text = EXPERIMENTS[name].run(size)
-            else:
-                text = EXPERIMENTS[name].run(size)
-            out(text)
-            out("")
+        plan = None
+        if args.faults:
+            from repro.faults import FaultPlan
+
+            try:
+                plan = FaultPlan.load(args.faults)
+            except (OSError, ValueError, TypeError) as exc:
+                out(f"error: cannot load fault plan {args.faults}: {exc}")
+                return 1
+        with contextlib.ExitStack() as stack:
+            # The ambient plan reaches every JobRunner the experiment
+            # modules construct internally — no parameter plumbing.
+            if plan is not None:
+                stack.enter_context(plan.activate())
+            for name in names:
+                size = args.size if args.name != "all" else None
+                if recorder is not None:
+                    with recorder.activate():
+                        with recorder.tracer.span(
+                            "experiment", kind="experiment", experiment=name
+                        ):
+                            text = EXPERIMENTS[name].run(size)
+                else:
+                    text = EXPERIMENTS[name].run(size)
+                out(text)
+                out("")
         if recorder is not None:
             try:
                 recorder.report().write_jsonl(args.trace_out)

@@ -1,0 +1,80 @@
+"""repro.faults — seeded fault injection and the machinery to survive it.
+
+The paper's co-location argument (Section 4.1) only matters on a
+cluster where datanodes die and blocks go corrupt; this package is the
+deterministic fault model that lets the reproduction answer "how much
+of CIF's locality win survives failures?".
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`:
+  a seeded, JSON-serializable schedule of datanode crashes and
+  decommissions, slow-node degradations, block/replica corruption, and
+  transient read errors, triggered at simulated times or task
+  boundaries;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`: applies a plan
+  to a live ``FileSystem``, driven by the scheduler's event loop.
+
+The *tolerance* side lives where the faults land: checksum-verified
+reads with replica failover in :mod:`repro.hdfs`, CPP-consistent
+re-replication in ``FileSystem.repair``, and task-attempt retry in
+:mod:`repro.mapreduce.scheduler`.  See ``docs/fault_tolerance.md``.
+
+An ambient plan can be installed for CLI runs
+(``repro experiment fig7 --faults PLAN.json``)::
+
+    with plan.activate():
+        run_job(fs, job)   # the runner builds a FaultInjector itself
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import KINDS, RANDOM, FaultEvent, FaultPlan
+
+#: the ambient fault plan; FaultPlan.activate() swaps it in
+_ACTIVE_PLAN: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_fault_plan", default=None
+)
+
+
+def current_fault_plan() -> Optional[FaultPlan]:
+    """The ambient fault plan, or None (the default: nothing fails).
+
+    ``JobRunner`` consults this when no injector was passed explicitly,
+    so ``--faults PLAN.json`` reaches jobs created deep inside the
+    experiment modules without parameter plumbing.  Each job run builds
+    a fresh :class:`FaultInjector` over the plan — events apply to that
+    run's filesystem (kills are idempotent at the HDFS level).
+    """
+    return _ACTIVE_PLAN.get()
+
+
+class _PlanActivation:
+    __slots__ = ("_plan", "_token")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._token = None
+
+    def __enter__(self) -> FaultPlan:
+        self._token = _ACTIVE_PLAN.set(self._plan)
+        return self._plan
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE_PLAN.reset(self._token)
+
+
+def _ambient_activation(plan: FaultPlan) -> _PlanActivation:
+    return _PlanActivation(plan)
+
+
+__all__ = [
+    "KINDS",
+    "RANDOM",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "current_fault_plan",
+]

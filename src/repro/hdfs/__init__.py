@@ -21,7 +21,14 @@ simulated multi-GB dataset costs its logical size in memory, not 3x.
 """
 
 from repro.hdfs.cluster import ClusterConfig
-from repro.hdfs.filesystem import FileSystem
+from repro.hdfs.errors import (
+    BlockMissingError,
+    CorruptBlockError,
+    FaultError,
+    NodeDeadError,
+    TransientReadError,
+)
+from repro.hdfs.filesystem import FileSystem, FsckReport
 from repro.hdfs.placement import (
     BlockPlacementPolicy,
     ColumnPlacementPolicy,
@@ -29,9 +36,15 @@ from repro.hdfs.placement import (
 )
 
 __all__ = [
+    "BlockMissingError",
     "BlockPlacementPolicy",
     "ClusterConfig",
     "ColumnPlacementPolicy",
+    "CorruptBlockError",
     "DefaultPlacementPolicy",
+    "FaultError",
     "FileSystem",
+    "FsckReport",
+    "NodeDeadError",
+    "TransientReadError",
 ]

@@ -11,7 +11,7 @@ content.
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, List, Set, Tuple
 
 
 class BlockStore:
@@ -20,11 +20,21 @@ class BlockStore:
     HDFS checksums every block; the simulator records a CRC32 at write
     time so :meth:`verify` (and ``FileSystem.fsck``) can detect
     corruption injected by tests or bugs.
+
+    Corruption comes in two granularities, mirroring real HDFS:
+
+    - :meth:`corrupt` flips a byte of the *payload* itself — every
+      replica is bad and the block is unrecoverable;
+    - :meth:`mark_replica_corrupt` poisons one ``(block, node)``
+      replica.  The bytes are intact elsewhere, so a reader can fail
+      over to another replica and the namenode can re-replicate from a
+      good copy.
     """
 
     def __init__(self) -> None:
         self._payloads: Dict[int, bytes] = {}
         self._checksums: Dict[int, int] = {}
+        self._corrupt_replicas: Set[Tuple[int, int]] = set()
 
     def put(self, block_id: int, payload: bytes) -> None:
         if block_id in self._payloads:
@@ -47,9 +57,35 @@ class BlockStore:
         payload[offset % len(payload)] ^= 0xFF
         self._payloads[block_id] = bytes(payload)
 
+    # -- per-replica corruption ---------------------------------------
+
+    def mark_replica_corrupt(self, block_id: int, node: int) -> None:
+        """Poison the copy of ``block_id`` held by datanode ``node``."""
+        if block_id not in self._payloads:
+            raise KeyError(f"block {block_id} not stored")
+        self._corrupt_replicas.add((block_id, node))
+
+    def replica_ok(self, block_id: int, node: int) -> bool:
+        """True when ``node``'s copy of the block passes its checksum."""
+        if (block_id, node) in self._corrupt_replicas:
+            return False
+        return self.verify(block_id)
+
+    def clear_replica(self, block_id: int, node: int) -> None:
+        """Forget a replica's corruption mark (re-replication wrote a
+        fresh copy from a good source)."""
+        self._corrupt_replicas.discard((block_id, node))
+
+    def corrupt_replicas(self) -> List[Tuple[int, int]]:
+        """Every ``(block_id, node)`` replica currently marked corrupt."""
+        return sorted(self._corrupt_replicas)
+
     def remove(self, block_id: int) -> None:
         self._payloads.pop(block_id, None)
         self._checksums.pop(block_id, None)
+        self._corrupt_replicas = {
+            pair for pair in self._corrupt_replicas if pair[0] != block_id
+        }
 
     def __contains__(self, block_id: int) -> bool:
         return block_id in self._payloads

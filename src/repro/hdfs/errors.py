@@ -1,0 +1,41 @@
+"""Fault-path error types raised by the HDFS read layer.
+
+All retriable read failures derive from :class:`FaultError`, so the
+MapReduce scheduler can catch one base class and re-run the attempt on
+a surviving node (``mapreduce.scheduler``).  They derive from
+:class:`~repro.hdfs.namenode.HdfsError` (itself an ``OSError``) so
+pre-existing callers that catch filesystem errors keep working.
+"""
+
+from __future__ import annotations
+
+from repro.hdfs.namenode import HdfsError
+
+
+class FaultError(HdfsError):
+    """Base class for injected/simulated failures a task attempt may hit.
+
+    The scheduler treats any ``FaultError`` raised out of a map attempt
+    as a failed attempt (retried up to ``max_attempts``) rather than a
+    programming error.  Instances may carry a ``metrics`` attribute with
+    the partial :class:`~repro.sim.metrics.Metrics` the attempt accrued
+    before dying, so wasted work still occupies its slot.
+    """
+
+    metrics = None
+
+
+class TransientReadError(FaultError):
+    """A one-off read failure (flaky NIC/disk); succeeds on retry."""
+
+
+class NodeDeadError(FaultError):
+    """The node a task runs on (or reads from) has crashed."""
+
+
+class BlockMissingError(FaultError):
+    """No live, uncorrupted replica of a block remains."""
+
+
+class CorruptBlockError(FaultError):
+    """Every copy of the block's payload fails its checksum."""

@@ -2,25 +2,123 @@
 
 Equivalent to Hadoop's ``FileSystem`` API surface, scoped to what the
 paper's formats need: create/open/list/delete, block locations for the
-scheduler, a pluggable placement policy, and (as an extension hook) node
-failure with policy-driven re-replication.
+scheduler, a pluggable placement policy — plus the fault-tolerance
+machinery the paper's co-location argument assumes underneath it
+(Section 4.1): datanode crashes and decommissions, checksum-verified
+reads with replica failover, and a re-replication repair pass that goes
+through the placement policy so repaired CIF split-directories stay
+co-located.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hdfs.blockstore import BlockStore
 from repro.hdfs.cluster import ClusterConfig
-from repro.hdfs.namenode import FileStatus, HdfsError, NameNode, normalize
+from repro.hdfs.errors import (
+    BlockMissingError,
+    CorruptBlockError,
+    NodeDeadError,
+    TransientReadError,
+)
+from repro.hdfs.namenode import (
+    BlockInfo,
+    FileStatus,
+    HdfsError,
+    NameNode,
+    normalize,
+)
 from repro.hdfs.placement import (
     BlockPlacementPolicy,
     ColumnPlacementPolicy,
     DefaultPlacementPolicy,
+    split_directory_of,
 )
 from repro.hdfs.streams import HdfsInputStream, HdfsOutputStream
+from repro.obs import current_obs
 from repro.sim.metrics import Metrics
+
+
+@dataclass
+class FsckReport:
+    """What ``hdfs fsck`` would print: integrity and replication state.
+
+    ``corrupt_files`` lists files with an *unrecoverable* block (the
+    payload itself fails its checksum — every replica is bad);
+    ``corrupt_replicas`` lists single bad copies that a reader can fail
+    over around and :meth:`FileSystem.repair` can re-replicate away.
+    ``non_colocated_split_dirs`` flags CIF split-directories whose
+    column files no longer share one replica set — the condition under
+    which CIF silently degrades to remote reads.
+    """
+
+    total_files: int = 0
+    total_blocks: int = 0
+    corrupt_files: List[str] = field(default_factory=list)
+    corrupt_replicas: List[Tuple[str, int, int]] = field(default_factory=list)
+    under_replicated: List[Tuple[str, int, int, int]] = field(
+        default_factory=list
+    )
+    missing_blocks: List[Tuple[str, int]] = field(default_factory=list)
+    non_colocated_split_dirs: List[str] = field(default_factory=list)
+    dead_nodes: List[int] = field(default_factory=list)
+    decommissioned_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every block is fully replicated and uncorrupted."""
+        return not (
+            self.corrupt_files
+            or self.corrupt_replicas
+            or self.under_replicated
+            or self.missing_blocks
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"files: {self.total_files}  blocks: {self.total_blocks}",
+            f"dead nodes: {self.dead_nodes or 'none'}"
+            + (
+                f"  decommissioned: {self.decommissioned_nodes}"
+                if self.decommissioned_nodes
+                else ""
+            ),
+        ]
+        if self.corrupt_files:
+            lines.append(f"CORRUPT files ({len(self.corrupt_files)}):")
+            lines += [f"  {path}" for path in self.corrupt_files]
+        if self.corrupt_replicas:
+            lines.append(
+                f"corrupt replicas ({len(self.corrupt_replicas)}):"
+            )
+            lines += [
+                f"  {path} block {bid} on node {node}"
+                for path, bid, node in self.corrupt_replicas
+            ]
+        if self.missing_blocks:
+            lines.append(f"MISSING blocks ({len(self.missing_blocks)}):")
+            lines += [
+                f"  {path} block {bid}" for path, bid in self.missing_blocks
+            ]
+        if self.under_replicated:
+            lines.append(
+                f"under-replicated blocks ({len(self.under_replicated)}):"
+            )
+            lines += [
+                f"  {path} block {bid}: {live}/{want} replicas"
+                for path, bid, live, want in self.under_replicated
+            ]
+        if self.non_colocated_split_dirs:
+            lines.append(
+                "split-directories with lost co-location "
+                f"({len(self.non_colocated_split_dirs)}):"
+            )
+            lines += [f"  {d}" for d in self.non_colocated_split_dirs]
+        lines.append("status: " + ("HEALTHY" if self.healthy else "DEGRADED"))
+        return "\n".join(lines)
 
 
 class FileSystem:
@@ -38,7 +136,14 @@ class FileSystem:
         self.namenode = NameNode()
         self.blockstore = BlockStore()
         self._rng = random.Random(self.cluster.seed)
-        self._failed_nodes = set()
+        self._dead_nodes: Set[int] = set()
+        self._decommissioned: Set[int] = set()
+        self._slowdowns: Dict[int, float] = {}
+        self._transient: Dict[int, int] = {}
+        #: re-replicate a block as soon as a corrupt replica is detected
+        #: on the read path (HDFS does this asynchronously; the repair is
+        #: instant here).
+        self.auto_repair = True
 
     # -- configuration ---------------------------------------------------
 
@@ -122,8 +227,9 @@ class FileSystem:
             metrics=metrics,
             disk=self.cluster.disk,
             network=self.cluster.network,
-            bandwidth_scale=bandwidth_scale,
+            bandwidth_scale=bandwidth_scale / self.slowdown_of(node),
             probe=probe,
+            replica_source=self,
         )
 
     def write_file(
@@ -142,11 +248,12 @@ class FileSystem:
     ) -> None:
         """Cut ``data`` into blocks, place replicas, store payloads."""
         block_size = self.cluster.block_size
+        excluded = self._dead_nodes | self._decommissioned
         offset = 0
         while True:
             chunk = data[offset:offset + block_size]
             targets = self.placement.choose_targets(path, self.cluster, self._rng)
-            live = [n for n in targets if n not in self._failed_nodes]
+            live = [n for n in targets if n not in excluded]
             if not live:
                 raise HdfsError(f"no live targets for block of {path}")
             block = self.namenode.add_block(path, len(chunk), live)
@@ -158,6 +265,86 @@ class FileSystem:
             # The writer pays for its local replica; pipeline copies to
             # the other replicas overlap with it.
             self.cluster.disk.charge_write(metrics, len(data))
+
+    # -- verified, failure-aware block reads -------------------------------
+
+    def check_transient(self, node: Optional[int]) -> None:
+        """Raise :class:`TransientReadError` when a flaky-read fault is
+        armed for ``node`` (one fault consumed per raised error)."""
+        if node is None:
+            return
+        left = self._transient.get(node, 0)
+        if left > 0:
+            self._transient[node] = left - 1
+            current_obs().registry.counter(
+                "hdfs.transient_errors", node=node
+            ).inc()
+            raise TransientReadError(
+                f"transient read error on node {node} ({left - 1} left armed)"
+            )
+
+    def fetch_block(
+        self, block: BlockInfo, reader_node: Optional[int]
+    ) -> Tuple[bytes, bool]:
+        """Serve a block read from the best live, checksum-clean replica.
+
+        Returns ``(payload, local)``.  Preference order: the reader's
+        own replica, then the lowest-numbered live one.  Replicas that
+        fail their checksum are reported to the namenode (invalidated
+        and, with :attr:`auto_repair`, immediately re-replicated from a
+        good copy); a read that *planned* to be local but was served
+        remotely counts a ``replica.failover`` and is charged network
+        cost by the stream layer.
+        """
+        if reader_node is not None and reader_node in self._dead_nodes:
+            raise NodeDeadError(f"reading node {reader_node} is dead")
+        bid = block.block_id
+        if not self.blockstore.verify(bid):
+            raise CorruptBlockError(
+                f"block {bid}: every replica fails its checksum"
+            )
+        wanted_local = reader_node is None or reader_node in block.locations
+        candidates = [n for n in block.locations if n not in self._dead_nodes]
+        if reader_node in candidates:
+            order = [reader_node] + sorted(
+                n for n in candidates if n != reader_node
+            )
+        else:
+            order = sorted(candidates)
+        for node in order:
+            if not self.blockstore.replica_ok(bid, node):
+                self.report_corrupt_replica(block, node)
+                continue
+            local = reader_node is None or node == reader_node
+            if wanted_local and not local:
+                current_obs().registry.counter("replica.failover").inc()
+            return self.blockstore.get(bid), local
+        raise BlockMissingError(
+            f"block {bid}: no live, uncorrupted replica remains"
+        )
+
+    def report_corrupt_replica(self, block: BlockInfo, node: int) -> None:
+        """A reader detected a checksum mismatch on one replica.
+
+        The replica is invalidated at the namenode; with
+        :attr:`auto_repair` the block is immediately re-replicated from
+        a surviving good copy (through the placement policy, so CPP
+        datasets stay co-located).
+        """
+        if not self.namenode.invalidate_replica(block, node):
+            return
+        current_obs().registry.counter(
+            "replica.corrupt_detected", node=node
+        ).inc()
+        has_good_copy = any(
+            n not in self._dead_nodes
+            and self.blockstore.replica_ok(block.block_id, n)
+            for n in block.locations
+        )
+        if self.auto_repair and has_good_copy:
+            path = self.namenode.path_of_block(block.block_id)
+            if path is not None:
+                self._repair_block(path, block)
 
     # -- locality queries ----------------------------------------------------
 
@@ -183,65 +370,283 @@ class FileSystem:
             if node in b.locations
         )
 
-    def fsck(self, path: Optional[str] = None) -> List[str]:
-        """Verify block checksums; returns paths with corrupt blocks.
+    # -- node lifecycle ------------------------------------------------------
 
-        ``path`` limits the check to one file or directory subtree
-        (None checks everything), like ``hdfs fsck``.
+    @property
+    def failed_nodes(self) -> set:
+        return set(self._dead_nodes)
+
+    def live_nodes(self) -> List[int]:
+        """Datanodes accepting reads, writes, and tasks."""
+        gone = self._dead_nodes | self._decommissioned
+        return [n for n in range(self.cluster.num_nodes) if n not in gone]
+
+    def is_node_live(self, node: int) -> bool:
+        return (
+            node not in self._dead_nodes and node not in self._decommissioned
+        )
+
+    def set_node_slowdown(self, node: int, factor: float) -> None:
+        """Degrade ``node``'s local disk bandwidth by ``factor`` (>= 1).
+
+        Models a failing disk / overloaded datanode: tasks reading
+        locally there take ``factor``x longer, which is what Hadoop's
+        speculative execution exists to route around.
         """
-        corrupt: List[str] = []
-        prefix = None if path is None else normalize(path)
-        for file_path, blocks in self.namenode.files_with_blocks().items():
-            if prefix is not None and not (
-                file_path == prefix or file_path.startswith(prefix + "/")
-            ):
-                continue
-            if any(
-                not self.blockstore.verify(block.block_id) for block in blocks
-            ):
-                corrupt.append(file_path)
-        return sorted(corrupt)
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if factor == 1.0:
+            self._slowdowns.pop(node, None)
+        else:
+            self._slowdowns[node] = factor
 
-    # -- failure injection (Section 4.3 future-work extension) ---------------
+    def slowdown_of(self, node: Optional[int]) -> float:
+        if node is None:
+            return 1.0
+        return self._slowdowns.get(node, 1.0)
+
+    def crash_node(self, node: int) -> int:
+        """Kill a datanode: every replica it held is invalidated.
+
+        Returns the number of replicas dropped by the dead-node scan.
+        Affected blocks stay readable through surviving replicas (readers
+        fail over); call :meth:`repair` to restore full replication.
+        """
+        if node in self._dead_nodes:
+            return 0
+        self._dead_nodes.add(node)
+        self._decommissioned.discard(node)
+        self._slowdowns.pop(node, None)
+        self._transient.pop(node, None)
+        if isinstance(self.placement, ColumnPlacementPolicy):
+            # Re-point every pinned set before blocks move so the whole
+            # split-directory re-replicates to the same place.
+            self.placement.repin_after_failure(
+                node, self.cluster, self._rng,
+                avoid=self._dead_nodes | self._decommissioned,
+            )
+        return self.namenode.invalidate_node(node)
+
+    def decommission_node(self, node: int) -> int:
+        """Gracefully retire a datanode: replicas are copied off first.
+
+        Unlike :meth:`crash_node` there is no under-replication window —
+        the node keeps serving until every block it holds has a
+        replacement replica.  Returns the number of replicas moved.
+        """
+        if node in self._dead_nodes or node in self._decommissioned:
+            return 0
+        self._decommissioned.add(node)
+        if isinstance(self.placement, ColumnPlacementPolicy):
+            self.placement.repin_after_failure(
+                node, self.cluster, self._rng,
+                avoid=self._dead_nodes | self._decommissioned,
+            )
+        moved = 0
+        for path, block in self.namenode.blocks_on(node):
+            replacement = self._choose_live_replacement(path, block)
+            if replacement is not None:
+                block.locations.append(replacement)
+                self.blockstore.clear_replica(block.block_id, replacement)
+                moved += 1
+            self.namenode.invalidate_replica(block, node)
+        return moved
 
     def fail_node(self, node: int) -> int:
         """Kill a datanode and re-replicate its blocks via the policy.
 
-        Returns the number of block replicas re-created.  With CPP, the
-        replacement keeps each split-directory co-located (its pinned
-        set is re-pointed consistently before blocks move).
+        ``crash_node`` + ``repair`` in one step (the original extension
+        hook).  Returns the number of block replicas re-created.  With
+        CPP, the replacement keeps each split-directory co-located.
         """
-        if node in self._failed_nodes:
+        if node in self._dead_nodes:
             return 0
-        self._failed_nodes.add(node)
-        if isinstance(self.placement, ColumnPlacementPolicy):
-            self.placement.repin_after_failure(node, self.cluster, self._rng)
-        moved = 0
+        self.crash_node(node)
+        return self.repair()
+
+    def arm_transient_errors(self, node: int, count: int = 1) -> None:
+        """The next ``count`` fetches by tasks on ``node`` raise
+        :class:`TransientReadError` (consumed one per fetch)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._transient[node] = self._transient.get(node, 0) + count
+
+    # -- repair --------------------------------------------------------------
+
+    def repair(self) -> int:
+        """Re-replication pass: restore every under-replicated block.
+
+        Replacement targets come from the placement policy, so CPP
+        datasets repair *consistently* — all column files of a
+        split-directory land on the same fresh node.  Emits
+        ``colocation.restored`` / ``colocation.lost`` counters for every
+        split-directory the pass touched.  Returns replicas created.
+        """
+        created = 0
+        touched_dirs = set()
+        target = self._target_replication()
         for path, blocks in self.namenode.files_with_blocks().items():
             for block in blocks:
-                if node not in block.locations:
-                    continue
-                block.locations.remove(node)
-                # Retry if the policy proposes another dead node (it has
-                # no failure knowledge of its own).
-                avoid = list(block.locations)
-                replacement = None
-                for _ in range(self.cluster.num_nodes):
-                    candidate = self.placement.choose_replacement(
-                        path, avoid, self.cluster, self._rng
-                    )
-                    if candidate not in self._failed_nodes:
-                        replacement = candidate
+                if not block.locations:
+                    continue  # data lost; fsck reports the missing block
+                grew = False
+                while len(block.locations) < target:
+                    replacement = self._choose_live_replacement(path, block)
+                    if replacement is None:
                         break
-                    avoid.append(candidate)
-                if replacement is None:
-                    raise HdfsError(
-                        f"no live node available to re-replicate {path}"
+                    block.locations.append(replacement)
+                    self.blockstore.clear_replica(
+                        block.block_id, replacement
                     )
-                block.locations.append(replacement)
-                moved += 1
-        return moved
+                    created += 1
+                    grew = True
+                if grew:
+                    split_dir = split_directory_of(path)
+                    if split_dir is not None:
+                        touched_dirs.add(split_dir)
+        registry = current_obs().registry
+        for split_dir in sorted(touched_dirs):
+            if self.split_dir_colocated(split_dir):
+                registry.counter("colocation.restored").inc()
+            else:
+                registry.counter("colocation.lost").inc()
+        return created
 
-    @property
-    def failed_nodes(self) -> set:
-        return set(self._failed_nodes)
+    def _target_replication(self) -> int:
+        return min(
+            self.cluster.effective_replication, max(1, len(self.live_nodes()))
+        )
+
+    def scrub(self) -> int:
+        """Block-scanner pass: detect and evict corrupt replicas.
+
+        Models HDFS's periodic ``DataBlockScanner``: every replica whose
+        stored checksum mismatches is reported to the namenode and (with
+        :attr:`auto_repair`) re-replicated from a good copy — without
+        waiting for a reader to stumble over it.  Returns the number of
+        corrupt replicas evicted.
+        """
+        evicted = 0
+        for block_id, node in self.blockstore.corrupt_replicas():
+            path = self.namenode.path_of_block(block_id)
+            if path is None:
+                continue
+            for block in self.namenode.blocks_of(path):
+                if block.block_id == block_id and node in block.locations:
+                    self.report_corrupt_replica(block, node)
+                    evicted += 1
+                    break
+        return evicted
+
+    def _repair_block(self, path: str, block: BlockInfo) -> int:
+        """Restore one block's replication (corrupt-replica fast path)."""
+        created = 0
+        while len(block.locations) < self._target_replication():
+            replacement = self._choose_live_replacement(path, block)
+            if replacement is None:
+                break
+            block.locations.append(replacement)
+            self.blockstore.clear_replica(block.block_id, replacement)
+            created += 1
+        return created
+
+    def _choose_live_replacement(
+        self, path: str, block: BlockInfo
+    ) -> Optional[int]:
+        """Ask the policy for a replacement node, retrying past dead or
+        already-used proposals (policies have no failure knowledge)."""
+        excluded = self._dead_nodes | self._decommissioned
+        avoid = list(block.locations)
+        for _ in range(2 * self.cluster.num_nodes):
+            try:
+                candidate = self.placement.choose_replacement(
+                    path, avoid, self.cluster, self._rng
+                )
+            except ValueError:
+                return None
+            if candidate not in excluded and candidate not in block.locations:
+                return candidate
+            if candidate not in avoid:
+                avoid.append(candidate)
+            else:  # policy is stuck proposing the same exhausted set
+                avoid = sorted(set(avoid) | excluded)
+        return None
+
+    # -- integrity -----------------------------------------------------------
+
+    def split_dir_colocated(self, split_dir: str) -> bool:
+        """True when every block of every file under ``split_dir`` sits
+        on one common replica set (the CPP invariant, Figure 3b)."""
+        split_dir = normalize(split_dir)
+        sets = set()
+        for path, blocks in self.namenode.files_with_blocks().items():
+            if not (path == split_dir or path.startswith(split_dir + "/")):
+                continue
+            for block in blocks:
+                sets.add(tuple(sorted(block.locations)))
+        return len(sets) <= 1
+
+    def fsck_report(self, path: Optional[str] = None) -> FsckReport:
+        """Full integrity scan, like ``hdfs fsck``: corruption (block
+        and replica level), replication, and CIF co-location state.
+
+        ``path`` limits the check to one file or directory subtree.
+        """
+        report = FsckReport(
+            dead_nodes=sorted(self._dead_nodes),
+            decommissioned_nodes=sorted(self._decommissioned),
+        )
+        prefix = None if path is None else normalize(path)
+        target = self._target_replication()
+        split_dirs = set()
+        for file_path, blocks in sorted(
+            self.namenode.files_with_blocks().items()
+        ):
+            if prefix is not None and not (
+                file_path == prefix or file_path.startswith(prefix + "/")
+            ):
+                continue
+            report.total_files += 1
+            report.total_blocks += len(blocks)
+            split_dir = split_directory_of(file_path)
+            if split_dir is not None:
+                split_dirs.add(split_dir)
+            payload_corrupt = False
+            for block in blocks:
+                if not self.blockstore.verify(block.block_id):
+                    payload_corrupt = True
+                for node in block.locations:
+                    if not self.blockstore.replica_ok(block.block_id, node):
+                        if self.blockstore.verify(block.block_id):
+                            report.corrupt_replicas.append(
+                                (file_path, block.block_id, node)
+                            )
+                live = [
+                    n for n in block.locations if n not in self._dead_nodes
+                ]
+                if not live:
+                    report.missing_blocks.append(
+                        (file_path, block.block_id)
+                    )
+                elif len(live) < target:
+                    report.under_replicated.append(
+                        (file_path, block.block_id, len(live), target)
+                    )
+            if payload_corrupt:
+                report.corrupt_files.append(file_path)
+        for split_dir in sorted(split_dirs):
+            if not self.split_dir_colocated(split_dir):
+                report.non_colocated_split_dirs.append(split_dir)
+        return report
+
+    def fsck(self, path: Optional[str] = None) -> List[str]:
+        """Verify block checksums; returns paths with corrupt blocks.
+
+        ``path`` limits the check to one file or directory subtree
+        (None checks everything), like ``hdfs fsck``.  See
+        :meth:`fsck_report` for the full structured scan.
+        """
+        report = self.fsck_report(path)
+        corrupt = set(report.corrupt_files)
+        corrupt.update(p for p, _, _ in report.corrupt_replicas)
+        return sorted(corrupt)

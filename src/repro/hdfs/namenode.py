@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import posixpath
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 
 class HdfsError(OSError):
@@ -155,6 +155,50 @@ class NameNode:
     def files_with_blocks(self) -> Dict[str, List[BlockInfo]]:
         """Snapshot of every file's block list (for re-replication scans)."""
         return {path: list(blocks) for path, blocks in self._files.items()}
+
+    # -- replica invalidation (fault tolerance) ---------------------------
+
+    def invalidate_replica(self, block: BlockInfo, node: int) -> bool:
+        """Drop ``node`` from a block's replica set (corrupt or dead copy).
+
+        Returns True when the node actually held a replica.  The block
+        becomes under-replicated; a later
+        :meth:`~repro.hdfs.filesystem.FileSystem.repair` pass restores
+        the target replication from a surviving copy.
+        """
+        if node in block.locations:
+            block.locations.remove(node)
+            return True
+        return False
+
+    def invalidate_node(self, node: int) -> int:
+        """Dead-node scan: drop ``node`` from every block's replica set.
+
+        Returns the number of replicas invalidated.
+        """
+        dropped = 0
+        for blocks in self._files.values():
+            for block in blocks:
+                if self.invalidate_replica(block, node):
+                    dropped += 1
+        return dropped
+
+    def blocks_on(self, node: int) -> List[Tuple[str, BlockInfo]]:
+        """Every ``(path, block)`` with a replica on ``node``."""
+        return [
+            (path, block)
+            for path, blocks in self._files.items()
+            for block in blocks
+            if node in block.locations
+        ]
+
+    def path_of_block(self, block_id: int) -> Optional[str]:
+        """The file a block belongs to (None for unknown ids)."""
+        for path, blocks in self._files.items():
+            for block in blocks:
+                if block.block_id == block_id:
+                    return path
+        return None
 
     def replica_count(self, node: int) -> int:
         """Number of block replicas hosted by ``node`` (balance checks)."""

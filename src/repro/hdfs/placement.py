@@ -130,12 +130,20 @@ class ColumnPlacementPolicy(BlockPlacementPolicy):
         pinned.append(fresh)
         return fresh
 
-    def repin_after_failure(self, failed_node: int, cluster, rng) -> None:
-        """Swap ``failed_node`` out of every pinned set, consistently."""
+    def repin_after_failure(
+        self, failed_node: int, cluster, rng, avoid=()
+    ) -> None:
+        """Swap ``failed_node`` out of every pinned set, consistently.
+
+        ``avoid`` lists additional nodes (other dead/decommissioned
+        datanodes) the replacement must not land on, so a repair pass
+        under multiple failures stays consistent.
+        """
         for split_dir, pinned in self._pinned.items():
             if failed_node in pinned:
+                exclude = list(pinned) + [n for n in avoid if n not in pinned]
                 fresh = self.fallback.choose_replacement(
-                    split_dir, pinned, cluster, rng
+                    split_dir, exclude, cluster, rng
                 )
                 pinned[pinned.index(failed_node)] = fresh
 

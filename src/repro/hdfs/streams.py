@@ -78,9 +78,18 @@ class HdfsInputStream:
         network=None,
         bandwidth_scale: float = 1.0,
         probe: Optional[StreamProbe] = None,
+        replica_source=None,
     ) -> None:
+        """``replica_source`` (optional) is an object with
+        ``check_transient(node)`` and ``fetch_block(block, node) ->
+        (payload, local)`` — the checksum-verifying, failure-aware read
+        path provided by :class:`~repro.hdfs.filesystem.FileSystem`.
+        Without it the stream falls back to the raw ``payload_of``
+        callable and pure location-metadata locality (no fault model).
+        """
         self._blocks = blocks
         self._payload_of = payload_of
+        self._replica_source = replica_source
         self._buffer_size = buffer_size
         self._node = node
         self._metrics = metrics
@@ -155,6 +164,10 @@ class HdfsInputStream:
         local_bytes = 0
         remote_bytes = 0
         remote_transfers = 0
+        if self._replica_source is not None:
+            # Flaky-reader faults surface here, at fetch granularity, so
+            # a retried task re-reads from a clean stream position.
+            self._replica_source.check_transient(self._node)
         block_index = self._block_index(start)
         cursor = start
         while cursor < end:
@@ -162,9 +175,17 @@ class HdfsInputStream:
             block_start = self._starts[block_index]
             lo = cursor - block_start
             hi = min(end - block_start, block.length)
-            chunks.append(self._payload_of(block.block_id)[lo:hi])
+            if self._replica_source is not None:
+                payload, local = self._replica_source.fetch_block(
+                    block, self._node
+                )
+            else:
+                payload, local = self._payload_of(block.block_id), (
+                    self._is_local(block)
+                )
+            chunks.append(payload[lo:hi])
             nbytes = hi - lo
-            if self._is_local(block):
+            if local:
                 local_bytes += nbytes
             else:
                 remote_bytes += nbytes

@@ -17,6 +17,7 @@ time** (wall-clock makespan including shuffle/sort/reduce).
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
 from repro.mapreduce.runner import JobResult, JobRunner, run_job
+from repro.mapreduce.scheduler import JobFailedError
 from repro.mapreduce.types import (
     InputFormat,
     InputSplit,
@@ -30,6 +31,7 @@ __all__ = [
     "InputFormat",
     "InputSplit",
     "Job",
+    "JobFailedError",
     "JobResult",
     "JobRunner",
     "OutputFormat",

@@ -32,9 +32,12 @@ class Job:
         num_reducers: int = 0,
         cost: Optional[CpuCostModel] = None,
         speculative: bool = False,
+        max_attempts: int = 4,
     ) -> None:
         if num_reducers < 0:
             raise ValueError("num_reducers must be >= 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         if reducer is not None and num_reducers == 0:
             num_reducers = 1
         self.name = name
@@ -47,6 +50,9 @@ class Job:
         self.cost = cost if cost is not None else CpuCostModel()
         #: enable Hadoop-style speculative execution of map stragglers
         self.speculative = speculative
+        #: per-split task attempts before the job fails, as in Hadoop's
+        #: ``mapreduce.map.maxattempts`` (default 4)
+        self.max_attempts = max_attempts
 
     @property
     def is_map_only(self) -> bool:

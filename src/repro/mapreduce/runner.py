@@ -17,6 +17,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults import FaultInjector, FaultPlan, current_fault_plan
+from repro.hdfs.errors import FaultError
 from repro.hdfs.filesystem import FileSystem
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
@@ -75,22 +77,48 @@ class JobResult:
     counters: Counters
     tasks: List[ScheduledTask] = field(default_factory=list)
     output: List[Tuple[object, object]] = field(default_factory=list)
+    attempts: int = 0        # every executed attempt, incl. failed/killed
+    failed_tasks: int = 0    # attempts lost to faults and retried
 
     @property
     def data_local_fraction(self) -> float:
-        if not self.tasks:
+        """Fraction of *surviving* map attempts that ran data-local.
+
+        Killed speculative duplicates and failed attempts are excluded
+        from the denominator: they contributed cluster time but no
+        output, and counting them would let a speculative run report a
+        locality number no placement policy produced.
+        """
+        surviving = [t for t in self.tasks if t.produced_output]
+        if not surviving:
             return 1.0
-        return sum(1 for t in self.tasks if t.data_local) / len(self.tasks)
+        return sum(1 for t in surviving if t.data_local) / len(surviving)
 
 
 class JobRunner:
     """Executes jobs against one simulated filesystem/cluster."""
 
     def __init__(
-        self, fs: FileSystem, obs: Optional[Observability] = None
+        self,
+        fs: FileSystem,
+        obs: Optional[Observability] = None,
+        faults=None,
     ) -> None:
         self.fs = fs
         self.obs = obs if obs is not None else current_obs()
+        #: a FaultPlan or FaultInjector; None falls back to the ambient
+        #: plan installed by ``FaultPlan.activate()`` (CLI ``--faults``)
+        self.faults = faults
+
+    def _injector(self) -> Optional[FaultInjector]:
+        faults = self.faults
+        if faults is None:
+            faults = current_fault_plan()
+        if faults is None:
+            return None
+        if isinstance(faults, FaultPlan):
+            return FaultInjector(self.fs, faults, self.obs)
+        return faults
 
     def run(self, job: Job) -> JobResult:
         obs = self.obs
@@ -106,7 +134,11 @@ class JobRunner:
         cluster = self.fs.cluster
         splits = job.input_format.get_splits(self.fs, cluster)
         counters = Counters()
-        map_outputs: List[List[List[Tuple[object, object]]]] = []
+        injector = self._injector()
+        # One entry per executed attempt, aligned with the scheduler's
+        # task list: (partitions, counters) for a completed attempt,
+        # None for one that died mid-read.
+        attempt_payloads: List[Optional[Tuple[list, Counters]]] = []
 
         def execute(split: InputSplit, node: int) -> Metrics:
             ctx = TaskContext(
@@ -115,9 +147,18 @@ class JobRunner:
                 io_buffer_size=cluster.io_buffer_size,
                 obs=obs,
             )
-            partitions = self._run_map_task(job, split, ctx)
-            map_outputs.append(partitions)
-            counters.merge(ctx.counters)
+            try:
+                partitions = self._run_map_task(job, split, ctx)
+            except FaultError as exc:
+                # The partial work (bytes read, seconds burned before the
+                # fault) still happened on the cluster; hand the metrics
+                # to the scheduler so the failed attempt occupies its
+                # slot for the time it actually ran.
+                if exc.metrics is None:
+                    exc.metrics = ctx.metrics
+                attempt_payloads.append(None)
+                raise
+            attempt_payloads.append((partitions, ctx.counters))
             return ctx.metrics
 
         with obs.tracer.span("map_phase", kind="phase", splits=len(splits)):
@@ -128,6 +169,9 @@ class JobRunner:
                 execute,
                 speculative=job.speculative,
                 obs=obs,
+                max_attempts=job.max_attempts,
+                faults=injector,
+                node_usable=self.fs.is_node_live,
             )
             for task in tasks:
                 obs.tracer.record_span(
@@ -142,25 +186,41 @@ class JobRunner:
                     data_local=task.data_local,
                     speculative=task.speculative,
                     killed=task.killed,
+                    attempt=task.attempt,
+                    failed=task.failed,
                 )
-        # map_outputs is appended in execution order, which matches the
-        # task list; attempts that lost a speculative race contribute
-        # cluster time but not output.
-        map_outputs = [
-            partitions
-            for task, partitions in zip(tasks, map_outputs)
-            if not task.killed
-        ]
+        # attempt_payloads is appended in execution order, which matches
+        # the task list.  Only surviving attempts — not killed in a
+        # speculative race, not failed by a fault — contribute output
+        # and job counters; that keeps both byte-identical between a
+        # fault-free run and any survivable chaos run (retry visibility
+        # lives in the obs registry's task.attempts counters instead).
+        map_outputs: List[List[List[Tuple[object, object]]]] = []
+        surviving: List[ScheduledTask] = []
+        for task, payload in zip(tasks, attempt_payloads):
+            if not task.produced_output or payload is None:
+                continue
+            surviving.append(task)
+            map_outputs.append(payload[0])
+            counters.merge(payload[1])
         map_metrics = Metrics()
         for task in tasks:
             map_metrics.add(task.metrics)
         map_makespan = makespan(tasks)
         map_time = sum(t.duration for t in tasks) / cluster.total_map_slots
-        counters.increment("map.tasks", len(tasks))
+        # Job counters carry only *logical* facts (tasks, records) so a
+        # survivable fault plan leaves them byte-identical to a
+        # fault-free run.  Physical placement is run-dependent under
+        # faults (a retry may land remote); it lives in the obs
+        # registry (``scheduler.assignments{placement=...}``) and in
+        # ``JobResult.data_local_fraction``.
+        counters.increment("map.tasks", len(surviving))
         counters.increment(
-            "map.data_local_tasks", sum(1 for t in tasks if t.data_local)
+            "map.records", sum(t.metrics.records for t in surviving)
         )
-        counters.increment("map.records", map_metrics.records)
+        obs.registry.counter("map.data_local_tasks").inc(
+            sum(1 for t in surviving if t.data_local)
+        )
 
         collect: Optional[CollectOutputFormat] = None
         output_format = job.output_format
@@ -232,6 +292,8 @@ class JobRunner:
             counters=counters,
             tasks=tasks,
             output=collect.collected if collect is not None else [],
+            attempts=len(tasks),
+            failed_tasks=sum(1 for t in tasks if t.failed),
         )
 
     # -- phases -----------------------------------------------------------
@@ -334,6 +396,11 @@ def _sort_key(key):
     return (type(key).__name__, repr(key)) if not isinstance(key, str) else ("str", key)
 
 
-def run_job(fs: FileSystem, job: Job) -> JobResult:
-    """Convenience wrapper: ``JobRunner(fs).run(job)``."""
-    return JobRunner(fs).run(job)
+def run_job(fs: FileSystem, job: Job, faults=None) -> JobResult:
+    """Convenience wrapper: ``JobRunner(fs, faults=faults).run(job)``.
+
+    ``faults`` may be a :class:`~repro.faults.FaultPlan` or a
+    pre-built :class:`~repro.faults.FaultInjector`; when omitted the
+    ambient plan (``FaultPlan.activate()``) applies, if any.
+    """
+    return JobRunner(fs, faults=faults).run(job)

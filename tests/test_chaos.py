@@ -1,0 +1,173 @@
+"""Chaos matrix: fault-tolerant execution is *invisible* in job results.
+
+The property under test (ISSUE 2, acceptance criterion): for every
+storage format and any survivable seeded :class:`FaultPlan`, the job's
+output and its counters are byte-identical to a fault-free run — the
+faults only show up in the obs registry (``task.attempts``,
+``replica.failover``, ``faults.injected``) and in the makespan.
+
+``REPRO_CHAOS_SEED`` (set by the CI chaos matrix) adds one extra seed
+to the sweep.  On failure, the run's flight recording is dumped to
+``chaos-artifacts/`` so CI can upload it.
+"""
+
+import os
+
+import pytest
+
+from repro.core import ColumnInputFormat, write_dataset
+from repro.faults import FaultEvent, FaultPlan
+from repro.formats.rcfile import RCFileInputFormat, write_rcfile
+from repro.formats.sequence_file import (
+    SequenceFileInputFormat,
+    write_sequence_file,
+)
+from repro.formats.text import TextInputFormat, write_text
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.mapreduce import Job, run_job
+from repro.obs import FlightRecorder
+from repro.workloads.micro import micro_records
+
+NUM_NODES = 6
+RECORDS = 120
+SEEDS = [11, 23, 37, 41, 53]
+_env_seed = os.environ.get("REPRO_CHAOS_SEED")
+if _env_seed and int(_env_seed) not in SEEDS:
+    SEEDS.append(int(_env_seed))
+
+
+def _write_txt(fs, path, schema, records):
+    write_text(fs, path, schema, records)
+    return TextInputFormat(path)
+
+
+def _write_seq(fs, path, schema, records):
+    write_sequence_file(fs, path, schema, records, sync_interval=40)
+    return SequenceFileInputFormat(path)
+
+
+def _write_rcfile(fs, path, schema, records):
+    write_rcfile(fs, path, schema, records, row_group_bytes=8 * 1024)
+    return RCFileInputFormat(path, columns=["int0", "str0"])
+
+
+def _write_cif(fs, path, schema, records):
+    write_dataset(fs, path, schema, records, split_bytes=12 * 1024)
+    return ColumnInputFormat(path, columns=["int0", "str0"], lazy=False)
+
+
+FORMATS = {
+    "txt": _write_txt,
+    "seq": _write_seq,
+    "rcfile": _write_rcfile,
+    "cif": _write_cif,
+}
+
+
+def build_cluster(fmt_name):
+    fs = FileSystem(
+        ClusterConfig(
+            num_nodes=NUM_NODES, replication=3, block_size=16 * 1024,
+            io_buffer_size=2048,
+        )
+    )
+    if fmt_name == "cif":
+        fs.use_column_placement()
+    records = list(micro_records(RECORDS))
+    schema = records[0].schema
+    fmt = FORMATS[fmt_name](fs, f"/chaos/{fmt_name}", schema, records)
+    return fs, fmt
+
+
+def make_job(fmt):
+    def mapper(key, value, emit, ctx):
+        emit(value.get("int0") % 7, len(value.get("str0")))
+
+    def reducer(key, values, emit, ctx):
+        emit(key, sum(values))
+
+    return Job("chaos", mapper, fmt, reducer=reducer, num_reducers=3)
+
+
+def dump_artifact(recorder, name):
+    os.makedirs("chaos-artifacts", exist_ok=True)
+    target = os.path.join("chaos-artifacts", f"{name}.jsonl")
+    recorder.report().write_jsonl(target)
+    return target
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Fault-free (output, counters) per format, computed once."""
+    results = {}
+    for fmt_name in FORMATS:
+        fs, fmt = build_cluster(fmt_name)
+        result = run_job(fs, make_job(fmt))
+        results[fmt_name] = (
+            sorted(result.output), result.counters.as_dict()
+        )
+    return results
+
+
+@pytest.mark.parametrize("fmt_name", sorted(FORMATS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_survivable_chaos_is_invisible(fmt_name, seed, baselines):
+    base_output, base_counters = baselines[fmt_name]
+    plan = FaultPlan.random(seed, num_nodes=NUM_NODES)
+    fs, fmt = build_cluster(fmt_name)
+    recorder = FlightRecorder(
+        meta={"chaos": {"format": fmt_name, "seed": seed,
+                        "plan": plan.to_dict()}}
+    )
+    with recorder.activate():
+        result = run_job(fs, make_job(fmt), faults=plan)
+    try:
+        assert sorted(result.output) == base_output
+        assert result.counters.as_dict() == base_counters
+    except AssertionError:
+        artifact = dump_artifact(recorder, f"chaos-{fmt_name}-{seed}")
+        pytest.fail(
+            f"chaos run diverged for format={fmt_name} seed={seed}; "
+            f"flight recording: {artifact}"
+        )
+
+
+@pytest.mark.parametrize("fmt_name", sorted(FORMATS))
+def test_single_node_kill_mid_job_every_victim(fmt_name, baselines):
+    """Acceptance: kill *any* single datanode mid-job; the job completes
+    with identical output, the retry shows in obs counters, and (for
+    CIF) post-repair fsck shows full replication with co-location."""
+    base_output, base_counters = baselines[fmt_name]
+    any_retry = False
+    for victim in range(NUM_NODES):
+        plan = FaultPlan(
+            [FaultEvent("kill_node", node=victim, at_time=1e-9)],
+            seed=victim,
+        )
+        fs, fmt = build_cluster(fmt_name)
+        recorder = FlightRecorder()
+        with recorder.activate():
+            result = run_job(fs, make_job(fmt), faults=plan)
+        try:
+            assert sorted(result.output) == base_output
+            assert result.counters.as_dict() == base_counters
+            report = fs.fsck_report()
+            assert report.healthy
+            assert report.non_colocated_split_dirs == []
+            if result.failed_tasks:
+                any_retry = True
+                assert recorder.registry.value_of(
+                    "task.attempts", outcome="node_lost"
+                ) >= result.failed_tasks
+                assert result.attempts > result.counters.get("map.tasks")
+        except AssertionError:
+            artifact = dump_artifact(
+                recorder, f"kill-{fmt_name}-node{victim}"
+            )
+            pytest.fail(
+                f"node-kill run diverged for format={fmt_name} "
+                f"victim={victim}; flight recording: {artifact}"
+            )
+    # with a kill at t~0, at least one victim was running first-wave
+    # tasks, so the retry path genuinely executed
+    assert any_retry
