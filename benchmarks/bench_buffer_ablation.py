@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import buffer_ablation
 
@@ -10,6 +10,7 @@ from repro.bench import buffer_ablation
 @pytest.fixture(scope="module")
 def result():
     res = buffer_ablation.run(records=4000)
+    emit_bench_json("buffers", res, {"records": 4000})
     print("\n" + buffer_ablation.format_table(res))
     return res
 

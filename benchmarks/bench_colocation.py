@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import colocation
 
@@ -10,6 +10,7 @@ from repro.bench import colocation
 @pytest.fixture(scope="module")
 def result():
     res = colocation.run(records=400, content_bytes=16384)
+    emit_bench_json("colocation", res, {"records": 400, "content_bytes": 16384})
     print("\n" + colocation.format_table(res))
     return res
 

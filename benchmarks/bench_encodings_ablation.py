@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import encodings_ablation
 
@@ -10,6 +10,7 @@ from repro.bench import encodings_ablation
 @pytest.fixture(scope="module")
 def result():
     res = encodings_ablation.run(records=5000)
+    emit_bench_json("encodings", res, {"records": 5000})
     print("\n" + encodings_ablation.format_table(res))
     return res
 

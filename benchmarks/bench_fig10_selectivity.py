@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig10_selectivity as fig10
 
@@ -10,6 +10,7 @@ from repro.bench import fig10_selectivity as fig10
 @pytest.fixture(scope="module")
 def result():
     res = fig10.run(records=6000)
+    emit_bench_json("fig10", res, {"records": 6000})
     print("\n" + fig10.format_table(res))
     return res
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig11_wide_records as fig11
 
@@ -10,6 +10,7 @@ from repro.bench import fig11_wide_records as fig11
 @pytest.fixture(scope="module")
 def result():
     res = fig11.run(total_bytes=3 * 1024 * 1024)
+    emit_bench_json("fig11", res, {"total_bytes": 3 * 1024 * 1024})
     print("\n" + fig11.format_table(res))
     return res
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig7_microbenchmark as fig7
 
@@ -12,6 +12,7 @@ RECORDS = 8000
 @pytest.fixture(scope="module")
 def result():
     res = fig7.run(records=RECORDS)
+    emit_bench_json("fig7", res, {"records": RECORDS})
     print("\n" + fig7.format_table(res))
     return res
 

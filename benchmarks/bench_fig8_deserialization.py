@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig8_deserialization as fig8
 
@@ -10,6 +10,7 @@ from repro.bench import fig8_deserialization as fig8
 @pytest.fixture(scope="module")
 def result():
     res = fig8.run(records=100)
+    emit_bench_json("fig8", res, {"records": 100, "seed": 8})
     print("\n" + fig8.format_table(res))
     return res
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig9_rowgroups as fig9
 
@@ -10,6 +10,7 @@ from repro.bench import fig9_rowgroups as fig9
 @pytest.fixture(scope="module")
 def result():
     res = fig9.run(records=8000)
+    emit_bench_json("fig9", res, {"records": 8000})
     print("\n" + fig9.format_table(res))
     return res
 

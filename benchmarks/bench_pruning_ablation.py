@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import pruning_ablation
 
@@ -10,6 +10,7 @@ from repro.bench import pruning_ablation
 @pytest.fixture(scope="module")
 def result():
     res = pruning_ablation.run(records=6000)
+    emit_bench_json("pruning", res, {"records": 6000})
     print("\n" + pruning_ablation.format_table(res))
     return res
 

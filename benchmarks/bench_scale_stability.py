@@ -10,7 +10,7 @@ agree within tight bands.
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import fig7_microbenchmark as fig7
 
@@ -19,7 +19,13 @@ SMALL, LARGE = 4000, 16000
 
 @pytest.fixture(scope="module")
 def result():
-    return {n: fig7.run(records=n) for n in (SMALL, LARGE)}
+    res = {n: fig7.run(records=n) for n in (SMALL, LARGE)}
+    emit_bench_json(
+        "scale_stability",
+        {"small": res[SMALL], "large": res[LARGE]},
+        {"small": SMALL, "large": LARGE},
+    )
+    return res
 
 
 def test_scale_stability_benchmark(benchmark, result):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import table1_crawl as table1
 
@@ -10,6 +10,7 @@ from repro.bench import table1_crawl as table1
 @pytest.fixture(scope="module")
 def result():
     res = table1.run(records=500, content_bytes=24576)
+    emit_bench_json("table1", res, {"records": 500, "content_bytes": 24576})
     print("\n" + table1.format_table(res))
     return res
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import run_shape_checks
+from benchmarks.conftest import emit_bench_json, run_shape_checks
 
 from repro.bench import table2_load_times as table2
 
@@ -10,6 +10,7 @@ from repro.bench import table2_load_times as table2
 @pytest.fixture(scope="module")
 def result():
     res = table2.run(records=8000)
+    emit_bench_json("table2", res, {"records": 8000})
     print("\n" + table2.format_table(res))
     return res
 

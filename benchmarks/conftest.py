@@ -12,6 +12,25 @@ paper's shape.
 """
 
 import inspect
+import os
+
+
+def emit_bench_json(name: str, result, params: dict) -> None:
+    """Write this scenario's canonical ``BENCH_<name>.json``.
+
+    Gated on ``REPRO_BENCH_OUT`` (the target directory) so plain pytest
+    runs stay artifact-free.  The wrappers run at *display* size —
+    larger than the regression smoke size — so these payloads are for
+    ad-hoc inspection; the CI regression gate uses ``repro bench run``,
+    whose sizes match the committed baselines in
+    ``benchmarks/baselines/`` (see docs/benchmarking.md).
+    """
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if not out_dir:
+        return
+    from repro.bench import regress
+
+    regress.write_result(regress.canonical(name, result, params), out_dir)
 
 
 def run_shape_checks(cls, result) -> None:

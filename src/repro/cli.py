@@ -169,6 +169,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write to a file instead of stdout",
     )
+    report.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit the structured summary as JSON instead of the ASCII "
+            "render (requires a trace argument)"
+        ),
+    )
+
+    perf = subcommands.add_parser(
+        "perf",
+        help=(
+            "analyze a flight-recorder artifact: critical path, Gantt "
+            "timeline, stragglers, I/O breakdown, run diffing"
+        ),
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    cp = perf_sub.add_parser(
+        "critical-path",
+        help="the span chain that determines the run's simulated time",
+    )
+    cp.add_argument("trace", help="flight-recorder JSONL (from --trace-out)")
+    cp.add_argument(
+        "--root", type=int, default=None, metavar="SPAN_ID",
+        help="analyze one span subtree instead of the whole run",
+    )
+    cp.add_argument(
+        "--top", type=int, default=30,
+        help="path steps to print (default 30)",
+    )
+    tl = perf_sub.add_parser(
+        "timeline",
+        help="per-(node, slot) Gantt chart of task attempts",
+    )
+    tl.add_argument("trace", help="flight-recorder JSONL")
+    tl.add_argument(
+        "--width", type=int, default=64, help="chart width in characters"
+    )
+    br = perf_sub.add_parser(
+        "breakdown",
+        help="per-format/per-column I/O bytes, readahead waste, seeks",
+    )
+    br.add_argument("trace", help="flight-recorder JSONL")
+    st = perf_sub.add_parser(
+        "stragglers",
+        help="task-duration outliers vs siblings, with the dominant cost",
+    )
+    st.add_argument("trace", help="flight-recorder JSONL")
+    st.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="flag tasks slower than this multiple of the median",
+    )
+    pd = perf_sub.add_parser(
+        "diff",
+        help=(
+            "compare two recordings metric-by-metric and span-by-span; "
+            "exits 1 on regressions beyond tolerance"
+        ),
+    )
+    pd.add_argument("a", help="baseline flight-recorder JSONL")
+    pd.add_argument("b", help="candidate flight-recorder JSONL")
+    pd.add_argument(
+        "--rel-tol", type=float, default=0.01,
+        help="relative noise tolerance (default 0.01)",
+    )
+
+    bench = subcommands.add_parser(
+        "bench",
+        help=(
+            "benchmark regression pipeline: run scenarios at smoke size "
+            "into BENCH_*.json and check them against committed baselines"
+        ),
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_sub.add_parser("list", help="list scenarios and smoke sizes")
+    brun = bench_sub.add_parser(
+        "run", help="run scenarios and write canonical BENCH_*.json files"
+    )
+    brun.add_argument(
+        "--out-dir", default="bench-out",
+        help="directory for BENCH_*.json (default bench-out)",
+    )
+    brun.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    brun.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "also record each scenario under a flight recorder and "
+            "write BENCH_<name>.trace.jsonl here"
+        ),
+    )
+    bcheck = bench_sub.add_parser(
+        "check",
+        help="compare fresh results against baselines; exit 1 on regression",
+    )
+    bcheck.add_argument(
+        "--baseline-dir", default="benchmarks/baselines",
+        help="committed baselines (default benchmarks/baselines)",
+    )
+    bcheck.add_argument(
+        "--fresh-dir", default=None, metavar="DIR",
+        help=(
+            "load fresh results from an earlier 'bench run' instead of "
+            "re-running scenarios now"
+        ),
+    )
+    bcheck.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="check only this scenario (repeatable; default: all baselines)",
+    )
+    bcheck.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="relative tolerance for directional metrics (default 0.02)",
+    )
 
     experiment = subcommands.add_parser(
         "experiment", help="run one experiment (or 'all')"
@@ -231,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
             "replicas) and a re-replication pass before reporting"
         ),
     )
+    fsck.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help=(
+            "run under a flight recorder so the load/fault/repair spans "
+            "(replica.failover, colocation.restored, ...) land in a "
+            "RunReport, like experiment runs"
+        ),
+    )
     return parser
 
 
@@ -247,33 +370,143 @@ def _run_fsck(args, out: Callable[[str], None]) -> int:
     from repro.bench import harness
     from repro.core import write_dataset
     from repro.faults import FaultInjector, FaultPlan
+    from repro.obs import current_obs
     from repro.workloads.crawl import crawl_records, crawl_schema
 
-    fs = harness.cluster_fs(num_nodes=args.nodes)
-    if not args.no_cpp:
-        fs.use_column_placement()
-    write_dataset(
-        fs, args.path, crawl_schema(), crawl_records(args.records),
-        split_bytes=harness.MICRO_SPLIT_BYTES,
-    )
+    plan = None
     if args.faults:
         try:
             plan = FaultPlan.load(args.faults)
         except (OSError, ValueError, TypeError) as exc:
             out(f"error: cannot load fault plan {args.faults}: {exc}")
             return 1
-        fired = FaultInjector(fs, plan).fire_all()
-        out(f"applied {fired} fault event(s) from {args.faults}")
-        out("")
-    if args.repair:
-        evicted = fs.scrub()
-        created = fs.repair()
-        out(f"repair: evicted {evicted} corrupt replica(s), "
-            f"created {created} new replica(s)")
-        out("")
-    report = fs.fsck_report()
+
+    recorder = None
+    if args.trace_out:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(
+            meta={"command": "fsck", "path": args.path, "nodes": args.nodes}
+        )
+
+    with contextlib.ExitStack() as stack:
+        if recorder is not None:
+            stack.enter_context(recorder.activate())
+            stack.enter_context(
+                recorder.tracer.span("fsck", kind="fsck", path=args.path)
+            )
+        fs = harness.cluster_fs(num_nodes=args.nodes)
+        if not args.no_cpp:
+            fs.use_column_placement()
+        with current_obs().tracer.span("load", kind="load", path=args.path):
+            write_dataset(
+                fs, args.path, crawl_schema(), crawl_records(args.records),
+                split_bytes=harness.MICRO_SPLIT_BYTES,
+            )
+        if plan is not None:
+            fired = FaultInjector(fs, plan).fire_all()
+            out(f"applied {fired} fault event(s) from {args.faults}")
+            out("")
+        if args.repair:
+            with current_obs().tracer.span("repair", kind="repair"):
+                evicted = fs.scrub()
+                created = fs.repair()
+            out(f"repair: evicted {evicted} corrupt replica(s), "
+                f"created {created} new replica(s)")
+            out("")
+        report = fs.fsck_report()
     out(report.render())
+    if recorder is not None:
+        recorder.meta["healthy"] = report.healthy
+        try:
+            recorder.report().write_jsonl(args.trace_out)
+        except OSError as exc:
+            out(f"error: cannot write flight recording: {exc}")
+            return 1
+        out(f"wrote flight recording to {args.trace_out}")
     return 0 if report.healthy else 1
+
+
+def _load_trace(path: str, out: Callable[[str], None]):
+    """Load a flight recording or report the failure (None on error)."""
+    from repro.obs import RunReport
+
+    try:
+        return RunReport.load(path)
+    except (OSError, ValueError) as exc:
+        out(f"error: cannot read flight recording {path}: {exc}")
+        return None
+
+
+def _run_perf(args, out: Callable[[str], None]) -> int:
+    """``repro perf``: the analysis layer over saved recordings."""
+    from repro.obs import analysis
+
+    if args.perf_command == "diff":
+        base = _load_trace(args.a, out)
+        cand = _load_trace(args.b, out)
+        if base is None or cand is None:
+            return 1
+        diff = analysis.diff_runs(base, cand, rel_tol=args.rel_tol)
+        out(diff.render())
+        return 0 if diff.ok else 1
+
+    report = _load_trace(args.trace, out)
+    if report is None:
+        return 1
+    if args.perf_command == "critical-path":
+        path = analysis.critical_path(report, root_id=args.root)
+        out(path.render(top=args.top))
+        return 0
+    if args.perf_command == "timeline":
+        out(analysis.render_timeline(report, width=args.width))
+        return 0
+    if args.perf_command == "breakdown":
+        out(analysis.render_breakdown(report))
+        return 0
+    if args.perf_command == "stragglers":
+        out(analysis.render_stragglers(report, threshold=args.threshold))
+        return 0
+    return 2
+
+
+def _run_bench(args, out: Callable[[str], None]) -> int:
+    """``repro bench``: the BENCH_*.json regression pipeline."""
+    from repro.bench import regress
+
+    if args.bench_command == "list":
+        width = max(len(name) for name in regress.SCENARIOS)
+        for name in sorted(regress.SCENARIOS):
+            scenario = regress.SCENARIOS[name]
+            out(f"{name.ljust(width)}  {scenario.description} "
+                f"{scenario.params}")
+        return 0
+    if args.bench_command == "run":
+        try:
+            regress.run_all(
+                args.out_dir, names=args.scenario,
+                trace_dir=args.trace_dir, log=out,
+            )
+        except KeyError as exc:
+            out(f"error: {exc.args[0]}")
+            return 1
+        return 0
+    if args.bench_command == "check":
+        rel_tol = (
+            args.rel_tol if args.rel_tol is not None
+            else regress.DEFAULT_REL_TOL
+        )
+        try:
+            report = regress.check(
+                args.baseline_dir, names=args.scenario,
+                fresh_dir=args.fresh_dir, rel_tol=rel_tol, log=out,
+            )
+        except OSError as exc:
+            out(f"error: {exc}")
+            return 1
+        out(report.render())
+        return 0 if report.ok else 1
+    return 2
 
 
 def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -> int:
@@ -283,15 +516,20 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         for name in sorted(EXPERIMENTS):
             out(f"{name.ljust(width)}  {EXPERIMENTS[name].description}")
         return 0
+    if args.command == "perf":
+        return _run_perf(args, out)
+    if args.command == "bench":
+        return _run_bench(args, out)
     if args.command == "report" and args.trace is not None:
-        from repro.obs import RunReport
-
-        try:
-            report = RunReport.load(args.trace)
-        except (OSError, ValueError) as exc:
-            out(f"error: cannot read flight recording {args.trace}: {exc}")
+        report = _load_trace(args.trace, out)
+        if report is None:
             return 1
-        rendered = report.render()
+        if args.json:
+            import json
+
+            rendered = json.dumps(report.summary(), indent=2, sort_keys=True)
+        else:
+            rendered = report.render()
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(rendered + "\n")
@@ -300,6 +538,9 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
             out(rendered)
         return 0
     if args.command == "report":
+        if args.json:
+            out("error: --json requires a trace argument")
+            return 2
         lines: List[str] = [
             "# Reproduction results",
             "",

@@ -31,6 +31,7 @@ from repro.mapreduce.scheduler import (
 )
 from repro.mapreduce.types import InputSplit, TaskContext
 from repro.obs import Observability, current_obs
+from repro.obs.registry import TASK_DURATION_BOUNDARIES
 from repro.sim.metrics import Metrics
 
 #: CPU charge per key comparison in the reduce-side sort.
@@ -161,6 +162,7 @@ class JobRunner:
             attempt_payloads.append((partitions, ctx.counters))
             return ctx.metrics
 
+        input_fmt = type(job.input_format).__name__
         with obs.tracer.span("map_phase", kind="phase", splits=len(splits)):
             tasks = schedule_map_tasks(
                 splits,
@@ -173,7 +175,11 @@ class JobRunner:
                 faults=injector,
                 node_usable=self.fs.is_node_live,
             )
+            map_durations = obs.registry.histogram(
+                "task.duration.seconds", TASK_DURATION_BOUNDARIES, kind="map"
+            )
             for task in tasks:
+                map_durations.observe(task.duration)
                 obs.tracer.record_span(
                     "map_task",
                     kind="task",
@@ -183,11 +189,18 @@ class JobRunner:
                     sim_cpu=task.metrics.cpu_time,
                     split=task.split.label,
                     node=task.node,
+                    slot=task.slot,
                     data_local=task.data_local,
                     speculative=task.speculative,
                     killed=task.killed,
                     attempt=task.attempt,
                     failed=task.failed,
+                    format=input_fmt,
+                    disk_bytes=task.metrics.disk_bytes,
+                    net_bytes=task.metrics.net_bytes,
+                    requested_bytes=task.metrics.requested_bytes,
+                    seeks=task.metrics.seeks,
+                    records=task.metrics.records,
                 )
         # attempt_payloads is appended in execution order, which matches
         # the task list.  Only surviving attempts — not killed in a
@@ -263,6 +276,10 @@ class JobRunner:
                     counters.merge(ctx.counters)
                     reduce_metrics.add(ctx.metrics)
                     durations.append(ctx.metrics.task_time)
+                    obs.registry.histogram(
+                        "task.duration.seconds", TASK_DURATION_BOUNDARIES,
+                        kind="reduce",
+                    ).observe(ctx.metrics.task_time)
                     obs.tracer.record_span(
                         "reduce_task",
                         kind="task",
@@ -271,6 +288,8 @@ class JobRunner:
                         sim_io=ctx.metrics.io_time,
                         sim_cpu=ctx.metrics.cpu_time,
                         partition=r,
+                        records=ctx.metrics.records,
+                        net_bytes=ctx.metrics.net_bytes,
                     )
             reduce_makespan = simulate_wave_makespan(
                 durations, cluster.total_reduce_slots

@@ -46,6 +46,7 @@ class ScheduledTask:
     failed: bool = False  # attempt died (fault or node loss); was retried
     error: Optional[str] = None
     split_index: int = -1
+    slot: int = -1        # which of the node's map slots ran the attempt
 
     @property
     def end(self) -> float:
@@ -345,7 +346,7 @@ class _MapScheduler:
             self.tasks.append(ScheduledTask(
                 split, node, now, duration, metrics, local,
                 attempt=p.attempt, failed=True, error=error,
-                split_index=p.index,
+                split_index=p.index, slot=slot,
             ))
             self.obs.registry.counter(
                 "task.attempts", outcome="failed"
@@ -366,7 +367,7 @@ class _MapScheduler:
         duration = metrics.task_time
         self.tasks.append(ScheduledTask(
             split, node, now, duration, metrics, local,
-            attempt=p.attempt, split_index=p.index,
+            attempt=p.attempt, split_index=p.index, slot=slot,
         ))
         self.obs.registry.counter("task.attempts", outcome="ok").inc()
         heapq.heappush(self.slots, (now + duration, node, slot))
@@ -463,7 +464,7 @@ def _speculate(
                 victim.split, node, now, metrics.task_time, metrics,
                 data_local=True, speculative=True, failed=True,
                 error=str(exc) or type(exc).__name__,
-                split_index=victim.split_index,
+                split_index=victim.split_index, slot=slot,
             )
             tasks.append(duplicate)
             obs.registry.counter(
@@ -474,7 +475,7 @@ def _speculate(
         duplicate = ScheduledTask(
             victim.split, node, now, duration, metrics,
             data_local=True, speculative=True,
-            split_index=victim.split_index,
+            split_index=victim.split_index, slot=slot,
         )
         if duplicate.end < victim.end:
             # The local duplicate wins; the original is killed the

@@ -45,6 +45,21 @@ from repro.obs.recorder import (
     RunReport,
     StreamProbe,
 )
+from repro.obs.analysis import (
+    CriticalPath,
+    RunDiff,
+    SpanNode,
+    build_tree,
+    critical_path,
+    detect_stragglers,
+    diff_runs,
+    io_breakdown,
+    partition_skew,
+    render_breakdown,
+    render_stragglers,
+    render_timeline,
+    timeline,
+)
 
 #: the ambient observability; FlightRecorder.activate() swaps it in
 _ACTIVE: ContextVar[Observability] = ContextVar("repro_obs", default=NULL_OBS)
@@ -78,4 +93,17 @@ __all__ = [
     "RunReport",
     "StreamProbe",
     "current_obs",
+    "CriticalPath",
+    "RunDiff",
+    "SpanNode",
+    "build_tree",
+    "critical_path",
+    "detect_stragglers",
+    "diff_runs",
+    "io_breakdown",
+    "partition_skew",
+    "render_breakdown",
+    "render_stragglers",
+    "render_timeline",
+    "timeline",
 ]

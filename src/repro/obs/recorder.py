@@ -260,6 +260,77 @@ class RunReport:
             out[column] = out.get(column, 0) + entry["value"]
         return out
 
+    def task_duration_stats(self) -> Dict[str, dict]:
+        """Per-task-kind duration stats from the snapshot quantiles.
+
+        Keyed by the ``kind`` label of the ``task.duration.seconds``
+        histograms (``map``/``reduce``).  Quantile keys are absent for
+        artifacts recorded before snapshots carried them.
+        """
+        out: Dict[str, dict] = {}
+        for entry in self.registry:
+            if entry["kind"] != "histogram":
+                continue
+            if entry["name"] != "task.duration.seconds":
+                continue
+            if not entry.get("count"):
+                continue
+            stats = {
+                "count": entry["count"],
+                "mean": entry["sum"] / entry["count"],
+            }
+            for key in ("min", "max", "p50", "p95", "p99"):
+                if key in entry:
+                    stats[key] = entry[key]
+            out[entry["labels"].get("kind", "task")] = stats
+        return out
+
+    def summary(self) -> dict:
+        """A structured (JSON-ready) digest for tooling.
+
+        The machine-readable sibling of :meth:`render`; surfaced by
+        ``repro report --json``.
+        """
+        by_kind: Dict[str, int] = {}
+        sim_by_name: Dict[str, float] = {}
+        for span in self.spans:
+            kind = span.get("kind", "op")
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            sim = span.get("sim_duration")
+            if sim:
+                name = span["name"]
+                sim_by_name[name] = sim_by_name.get(name, 0.0) + sim
+        fetched = self.counter_total("hdfs.bytes.disk") + self.counter_total(
+            "hdfs.bytes.net"
+        )
+        requested = self.counter_total("hdfs.bytes.requested")
+        return {
+            "meta": dict(self.meta),
+            "spans": {
+                "count": len(self.spans),
+                "by_kind": dict(sorted(by_kind.items())),
+                "sim_time_by_name": {
+                    name: sim_by_name[name] for name in sorted(sim_by_name)
+                },
+            },
+            "metrics": {
+                field: self.metrics_total(field) for field in _METRICS_FIELDS
+            },
+            "per_column_bytes": dict(sorted(self.per_column_bytes().items())),
+            "readahead": {
+                "requested_bytes": int(requested),
+                "fetched_bytes": int(fetched),
+                "waste_bytes": int(fetched - requested),
+                "seeks": int(self.counter_total("hdfs.seeks")),
+                "fetches": int(self.counter_total("hdfs.fetches")),
+            },
+            "task_durations": self.task_duration_stats(),
+            "counters": [
+                {"label": dump["label"], "values": dict(dump["values"])}
+                for dump in self.counters
+            ],
+        }
+
     # -- serialization -------------------------------------------------
 
     def to_jsonl(self) -> str:
@@ -380,6 +451,21 @@ class RunReport:
                     f"io={snap.get('io_time', 0.0):.4f}s "
                     f"cpu={snap.get('cpu_time', 0.0):.4f}s"
                 )
+            sections.append("\n".join(lines))
+
+        durations = self.task_duration_stats()
+        if durations:
+            lines = ["Task durations (simulated seconds)"]
+            for kind in sorted(durations):
+                stats = durations[kind]
+                line = (
+                    f"  {kind}: n={stats['count']} "
+                    f"mean={stats['mean']:.6f}"
+                )
+                for key in ("p50", "p95", "p99", "max"):
+                    if key in stats:
+                        line += f" {key}={stats[key]:.6f}"
+                lines.append(line)
             sections.append("\n".join(lines))
 
         if self.counters:

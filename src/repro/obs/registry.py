@@ -30,6 +30,50 @@ def _label_key(labels: Dict[str, object]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+#: the quantiles baked into histogram snapshots
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def quantile_from_buckets(
+    boundaries: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    q: float,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> float:
+    """The ``q``-quantile of a fixed-boundary histogram's buckets.
+
+    A free function so it also works on *serialized* histogram entries
+    (a ``RunReport``'s registry snapshot), not just live instances.
+    """
+    if count <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, q))
+    target = q * count
+    boundaries = tuple(boundaries)
+    cumulative = 0.0
+    for i, bucket in enumerate(counts):
+        if bucket == 0:
+            continue
+        lo = boundaries[i - 1] if i > 0 else 0.0
+        hi = boundaries[i] if i < len(boundaries) else lo
+        if vmin is not None:
+            lo = max(lo, vmin) if i == 0 else lo
+        if i == len(boundaries):  # overflow bucket: edge is the max
+            hi = vmax if vmax is not None else lo
+        if cumulative + bucket >= target:
+            fraction = (target - cumulative) / bucket
+            value = lo + (hi - lo) * fraction
+            if vmin is not None:
+                value = max(value, vmin)
+            if vmax is not None:
+                value = min(value, vmax)
+            return value
+        cumulative += bucket
+    return vmax if vmax is not None else boundaries[-1]
+
+
 class Counter:
     """A monotonically increasing count (bytes, seeks, calls...)."""
 
@@ -63,15 +107,23 @@ class Gauge:
 #: default histogram boundaries: byte-ish powers of four up to 16 MB
 DEFAULT_BOUNDARIES = tuple(4 ** k for k in range(2, 13))
 
+#: simulated task-duration boundaries: half-decades, 10 µs .. ~5 ks
+TASK_DURATION_BOUNDARIES = tuple(
+    round(10.0 ** (k / 2.0), 10) for k in range(-10, 8)
+)
+
 
 class Histogram:
     """Fixed-boundary histogram; bucket ``i`` counts values <= bound ``i``.
 
     Boundaries are fixed at registration so snapshots from different
-    tasks/runs merge bucket-by-bucket without re-binning.
+    tasks/runs merge bucket-by-bucket without re-binning.  The observed
+    min/max are tracked alongside the buckets so quantile estimates can
+    interpolate against the true value range instead of the outermost
+    bucket edges.
     """
 
-    __slots__ = ("boundaries", "counts", "total", "count")
+    __slots__ = ("boundaries", "counts", "total", "count", "vmin", "vmax")
 
     def __init__(self, boundaries: Sequence[float] = DEFAULT_BOUNDARIES):
         self.boundaries = tuple(boundaries)
@@ -81,15 +133,35 @@ class Histogram:
         self.counts = [0] * (len(self.boundaries) + 1)
         self.total = 0.0
         self.count = 0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_right(self.boundaries, value)] += 1
         self.total += value
         self.count += 1
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation within the bucket holding the target rank;
+        the first populated bucket's lower edge and the overflow
+        bucket's upper edge are clamped to the observed min/max, so a
+        histogram whose values all land in one bucket still reports
+        quantiles inside the true value range.
+        """
+        return quantile_from_buckets(
+            self.boundaries, self.counts, self.count, q,
+            vmin=self.vmin, vmax=self.vmax,
+        )
 
 
 class NullCounter(Counter):
@@ -220,6 +292,11 @@ class MetricRegistry:
                 entry["counts"] = list(metric.counts)
                 entry["sum"] = metric.total
                 entry["count"] = metric.count
+                if metric.count:
+                    entry["min"] = metric.vmin
+                    entry["max"] = metric.vmax
+                    for key, q in SNAPSHOT_QUANTILES:
+                        entry[key] = metric.quantile(q)
             else:
                 entry["kind"] = _KINDS[type(metric)]
                 entry["value"] = metric.value
@@ -251,6 +328,14 @@ class MetricRegistry:
                     mine.counts[i] += count
                 mine.total += metric.total
                 mine.count += metric.count
+                if metric.vmin is not None and (
+                    mine.vmin is None or metric.vmin < mine.vmin
+                ):
+                    mine.vmin = metric.vmin
+                if metric.vmax is not None and (
+                    mine.vmax is None or metric.vmax > mine.vmax
+                ):
+                    mine.vmax = metric.vmax
 
 
 _NULL_COUNTER = NullCounter()

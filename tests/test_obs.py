@@ -130,6 +130,85 @@ class TestRegistry:
             a.merge(b)
 
 
+class TestHistogramQuantiles:
+    def test_quantiles_are_monotone_and_within_range(self):
+        h = MetricRegistry().histogram("h", boundaries=(10, 100, 1000))
+        for v in range(1, 201):
+            h.observe(v)
+        p50, p95, p99 = h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)
+        assert 1 <= p50 <= p95 <= p99 <= 200
+        assert p50 == pytest.approx(100, rel=0.15)
+
+    def test_single_value_clamps_to_observed(self):
+        # All mass in one bucket: interpolation against the bucket edge
+        # would report ~10; the observed min/max clamp it to the truth.
+        h = MetricRegistry().histogram("h", boundaries=(10, 100))
+        for _ in range(3):
+            h.observe(7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = MetricRegistry().histogram("h", boundaries=(10,))
+        h.observe(5000)
+        assert h.quantile(0.99) == pytest.approx(5000.0)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert MetricRegistry().histogram("h").quantile(0.5) == 0.0
+
+    def test_snapshot_carries_min_max_and_quantiles(self):
+        reg = MetricRegistry()
+        h = reg.histogram("h", boundaries=(10, 100))
+        reg.histogram("empty", boundaries=(10,))
+        for v in (3, 30, 300):
+            h.observe(v)
+        entries = {e["name"]: e for e in reg.snapshot()}
+        filled = entries["h"]
+        assert filled["min"] == 3 and filled["max"] == 300
+        assert filled["p50"] <= filled["p95"] <= filled["p99"] <= 300
+        assert "p50" not in entries["empty"]  # no data, no quantiles
+
+    def test_merge_folds_min_and_max(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("h", boundaries=(10,)).observe(1)
+        b.histogram("h", boundaries=(10,)).observe(100)
+        a.merge(b)
+        merged = a.histogram("h", boundaries=(10,))
+        assert merged.vmin == 1 and merged.vmax == 100
+        assert merged.count == 2
+
+    def test_report_renders_task_duration_quantiles(self):
+        from repro.obs.registry import TASK_DURATION_BOUNDARIES
+
+        recorder = FlightRecorder(clock=FakeClock())
+        durations = recorder.registry.histogram(
+            "task.duration.seconds", TASK_DURATION_BOUNDARIES, kind="map"
+        )
+        for v in (0.01, 0.02, 0.02, 0.5):
+            durations.observe(v)
+        report = recorder.report()
+        text = report.render()
+        assert "Task durations (simulated seconds)" in text
+        assert "map: n=4" in text and "p95=" in text
+        stats = report.task_duration_stats()["map"]
+        assert stats["count"] == 4
+        assert stats["p50"] <= stats["p95"] <= stats["p99"] <= 0.5
+
+    def test_quantile_from_buckets_works_on_serialized_entries(self):
+        from repro.obs.registry import quantile_from_buckets
+
+        reg = MetricRegistry()
+        h = reg.histogram("h", boundaries=(10, 100))
+        for v in (3, 5, 7, 30, 300):
+            h.observe(v)
+        (entry,) = reg.snapshot()
+        recomputed = quantile_from_buckets(
+            entry["boundaries"], entry["counts"], entry["count"], 0.5,
+            vmin=entry["min"], vmax=entry["max"],
+        )
+        assert recomputed == pytest.approx(h.quantile(0.5))
+
+
 class TestTracer:
     def test_nesting_records_parent_ids(self):
         tracer = Tracer(clock=FakeClock())

@@ -200,3 +200,231 @@ class TestReportCommand:
         text = target.read_text()
         assert "# Reproduction results" in text
         assert "Figure 8" in text
+
+
+@pytest.fixture(scope="class")
+def job_trace(tmp_path_factory):
+    """A traced run containing scheduled (map/reduce) task spans."""
+    target = tmp_path_factory.mktemp("trace") / "job.jsonl"
+    code = main(
+        ["experiment", "table1", "--records", "120",
+         "--trace-out", str(target)],
+        out=lambda s: None,
+    )
+    assert code == 0
+    return target
+
+
+class TestPerfCli:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_critical_path_fully_attributes_a_fig7_run(self, fig7_trace):
+        code, text = self.collect(["perf", "critical-path", str(fig7_trace)])
+        assert code == 0
+        # acceptance criterion: summed path time within 1% of the run's
+        # simulated wall time (here it is exact by construction)
+        assert "(100.00%)" in text
+        assert "split_scan" in text
+
+    def test_critical_path_on_a_job_run(self, job_trace):
+        code, text = self.collect(["perf", "critical-path", str(job_trace)])
+        assert code == 0
+        assert "(100.00%)" in text and "map_task" in text
+
+    def test_timeline_draws_slot_lanes(self, job_trace):
+        code, text = self.collect(["perf", "timeline", str(job_trace)])
+        assert code == 0
+        assert "node " in text and "|" in text and "legend" in text
+
+    def test_timeline_without_tasks_explains_itself(self, fig7_trace):
+        code, text = self.collect(["perf", "timeline", str(fig7_trace)])
+        assert code == 0
+        assert "no scheduled task spans" in text
+
+    def test_breakdown_reports_per_format_waste(self, job_trace):
+        code, text = self.collect(["perf", "breakdown", str(job_trace)])
+        assert code == 0
+        assert "waste" in text and "rcfile/-" in text and "cif/" in text
+
+    def test_stragglers_verb(self, job_trace):
+        code, text = self.collect(
+            ["perf", "stragglers", str(job_trace), "--threshold", "1.5"]
+        )
+        assert code == 0
+        assert "Task balance" in text
+
+    def test_diff_of_identical_traces_is_clean(self, job_trace):
+        code, text = self.collect(
+            ["perf", "diff", str(job_trace), str(job_trace)]
+        )
+        assert code == 0
+        assert "0 regression(s)" in text
+
+    def test_diff_detects_a_cost_regression(self, job_trace, tmp_path):
+        import json
+
+        worse = tmp_path / "worse.jsonl"
+        lines = []
+        for line in job_trace.read_text().splitlines():
+            record = json.loads(line)
+            if record["type"] == "metrics":
+                record["seeks"] = record.get("seeks", 0) * 3 + 10
+            lines.append(json.dumps(record, sort_keys=True))
+        worse.write_text("\n".join(lines) + "\n")
+        code, text = self.collect(
+            ["perf", "diff", str(job_trace), str(worse)]
+        )
+        assert code == 1
+        assert "[regression] metrics seeks" in text
+
+    def test_missing_trace_fails_cleanly(self, tmp_path):
+        code, text = self.collect(
+            ["perf", "critical-path", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 1 and "error:" in text
+
+
+class TestBenchCli:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_bench_list_names_every_scenario(self):
+        from repro.bench import regress
+
+        code, text = self.collect(["bench", "list"])
+        assert code == 0
+        for name in regress.SCENARIOS:
+            assert name in text
+
+    def test_run_then_check_roundtrip(self, tmp_path):
+        out_dir = str(tmp_path / "out")
+        code, text = self.collect(
+            ["bench", "run", "--scenario", "pruning", "--out-dir", out_dir]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "BENCH_pruning.json").exists()
+        code, text = self.collect(
+            ["bench", "check", "--baseline-dir", out_dir]
+        )
+        assert code == 0
+        assert "RESULT: PASS" in text
+
+    def test_check_fails_on_tampered_baseline(self, tmp_path):
+        import json
+
+        out_dir = tmp_path / "out"
+        self.collect(
+            ["bench", "run", "--scenario", "pruning",
+             "--out-dir", str(out_dir)]
+        )
+        path = out_dir / "BENCH_pruning.json"
+        payload = json.loads(path.read_text())
+        key = next(k for k in payload["metrics"] if k.startswith("bytes."))
+        payload["metrics"][key] /= 2
+        path.write_text(json.dumps(payload))
+        code, text = self.collect(
+            ["bench", "check", "--baseline-dir", str(out_dir)]
+        )
+        assert code == 1
+        assert "RESULT: FAIL" in text and "[regression]" in text
+
+    def test_check_with_fresh_dir(self, tmp_path):
+        base, fresh = str(tmp_path / "a"), str(tmp_path / "b")
+        self.collect(["bench", "run", "--scenario", "pruning",
+                      "--out-dir", base])
+        self.collect(["bench", "run", "--scenario", "pruning",
+                      "--out-dir", fresh])
+        code, text = self.collect(
+            ["bench", "check", "--baseline-dir", base, "--fresh-dir", fresh]
+        )
+        assert code == 0 and "RESULT: PASS" in text
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path):
+        code, text = self.collect(
+            ["bench", "run", "--scenario", "nope",
+             "--out-dir", str(tmp_path)]
+        )
+        assert code == 1 and "unknown scenario" in text
+
+
+class TestReportJson:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_json_summary_parses_and_reconciles(self, fig7_trace):
+        import json
+
+        code, text = self.collect(["report", str(fig7_trace), "--json"])
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["spans"]["count"] > 0
+        readahead = summary["readahead"]
+        assert readahead["fetched_bytes"] == (
+            readahead["requested_bytes"] + readahead["waste_bytes"]
+        )
+        assert summary["metrics"]["disk_bytes"] > 0
+
+    def test_json_without_trace_is_a_usage_error(self):
+        code, text = self.collect(["report", "--json"])
+        assert code == 2
+
+    def test_json_missing_trace_exits_nonzero(self, tmp_path):
+        code, text = self.collect(
+            ["report", str(tmp_path / "nope.jsonl"), "--json"]
+        )
+        assert code == 1 and "error:" in text
+
+
+class TestFsckTrace:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_fsck_trace_out_records_load_and_repair(self, tmp_path):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"events": [
+            {"kind": "kill_node", "node": 2, "at_time": 0.0},
+            {"kind": "corrupt_block", "path": None, "at_time": 0.0},
+        ]}))
+        trace = tmp_path / "fsck.jsonl"
+        code, text = self.collect(
+            ["fsck", "--records", "80", "--faults", str(plan),
+             "--repair", "--trace-out", str(trace)]
+        )
+        assert trace.exists()
+        assert f"wrote flight recording to {trace}" in text
+
+        from repro.obs import RunReport
+
+        report = RunReport.load(str(trace))
+        assert report.meta["command"] == "fsck"
+        assert report.meta["healthy"] == (code == 0)
+        names = {s["name"] for s in report.spans}
+        assert {"fsck", "load", "repair"} <= names
+        faults = [s for s in report.spans if s["kind"] == "fault"]
+        assert {f["attrs"]["fault"] for f in faults} == {
+            "kill_node", "corrupt_block"
+        }
+        assert report.counter_total("faults.injected") == 2
+
+    def test_fsck_healthy_run_traces_cleanly(self, tmp_path):
+        trace = tmp_path / "fsck.jsonl"
+        code, text = self.collect(
+            ["fsck", "--records", "60", "--trace-out", str(trace)]
+        )
+        assert code == 0
+        from repro.obs import RunReport
+
+        report = RunReport.load(str(trace))
+        assert report.meta["healthy"] is True
+        assert "load" in {s["name"] for s in report.spans}
