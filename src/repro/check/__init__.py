@@ -1,0 +1,70 @@
+"""Differential correctness harness (`repro.check`).
+
+The paper's central claim is that CIF/COF, lazy records, skip lists and
+DCSL are *semantically transparent*: every storage format and access
+path returns byte-identical records; only the cost changes.  This
+package proves it continuously:
+
+``generators``
+    Deterministic, boundary-biased schema/record/query generators — one
+    seed, one :class:`Case`, forever.
+
+``oracle``
+    The differential oracle: a case executed across the full storage
+    matrix ({TXT, SEQ variants, RCFile +/- ZLIB, CIF layouts} x
+    {eager, lazy} x {codecs} x {no faults, seeded fault plans}),
+    asserting identical records, identical job output, and counter
+    sanity (lazy never requests more bytes than eager).
+
+``metamorphic``
+    Invariants under dataset transformations: adding a never-projected
+    column leaves CIF column bytes unchanged; row permutation leaves
+    aggregates unchanged; schema-evolution appends round-trip.
+
+``fuzzer``
+    A deterministic fuzz loop over generated cases, a greedy shrinker
+    that reduces failing cases to minimal repros, and corpus
+    persistence under ``tests/corpus/``.
+
+CLI: ``repro check run|fuzz|shrink|corpus`` (see ``docs/testing.md``).
+"""
+
+from repro.check.generators import (
+    Case,
+    QuerySpec,
+    expected_output,
+    generate_case,
+    normalize,
+)
+from repro.check.oracle import (
+    CellResult,
+    OracleReport,
+    matrix_configs,
+    run_matrix,
+)
+from repro.check.metamorphic import run_metamorphic
+from repro.check.fuzzer import (
+    corpus_files,
+    fuzz,
+    load_case,
+    save_case,
+    shrink,
+)
+
+__all__ = [
+    "Case",
+    "CellResult",
+    "OracleReport",
+    "QuerySpec",
+    "corpus_files",
+    "expected_output",
+    "fuzz",
+    "generate_case",
+    "load_case",
+    "matrix_configs",
+    "normalize",
+    "run_matrix",
+    "run_metamorphic",
+    "save_case",
+    "shrink",
+]

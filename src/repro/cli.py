@@ -285,6 +285,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative tolerance for directional metrics (default 0.02)",
     )
 
+    check = subcommands.add_parser(
+        "check",
+        help=(
+            "differential correctness harness: cross-format oracle, "
+            "metamorphic invariants, deterministic fuzzing (repro.check)"
+        ),
+    )
+    check_sub = check.add_subparsers(dest="check_command", required=True)
+    crun = check_sub.add_parser(
+        "run",
+        help=(
+            "run one seeded case through the differential matrix; with "
+            "--plant-corruption, corrupt a block per leg and require the "
+            "corruption to be caught, then shrink to a minimal repro"
+        ),
+    )
+    crun.add_argument(
+        "--seed", type=int, default=7,
+        help="case seed (seed N always generates the same case)",
+    )
+    crun.add_argument(
+        "--matrix", choices=["quick", "full"], default="full",
+        help="matrix breadth (default full)",
+    )
+    crun.add_argument(
+        "--rows", type=int, default=None,
+        help="override the generated record count",
+    )
+    crun.add_argument(
+        "--plant-corruption", action="store_true",
+        help=(
+            "corrupt one data block (every replica, via the fault "
+            "injector) in each leg; exit 0 only if every leg detects it"
+        ),
+    )
+    cfuzz = check_sub.add_parser(
+        "fuzz",
+        help="run many generated cases; shrink + save any failure",
+    )
+    cfuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="number of cases to run (default 200)",
+    )
+    cfuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; case i uses seed base+i (default 0)",
+    )
+    cfuzz.add_argument(
+        "--matrix", choices=["quick", "full"], default="quick",
+        help="matrix per case (default quick)",
+    )
+    cfuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="where to save shrunk failures (default tests/corpus)",
+    )
+    cfuzz.add_argument(
+        "--keep-going", action="store_true",
+        help="keep fuzzing after the first failure",
+    )
+    cshrink = check_sub.add_parser(
+        "shrink",
+        help="minimize a failing case (from --case JSON or --seed)",
+    )
+    group = cshrink.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--case", default=None, metavar="FILE",
+        help="a saved corpus case to minimize",
+    )
+    group.add_argument(
+        "--seed", type=int, default=None,
+        help="generate the case from this seed and minimize it",
+    )
+    cshrink.add_argument(
+        "--matrix", choices=["quick", "full"], default="quick",
+        help="oracle matrix used as the shrinking predicate",
+    )
+    cshrink.add_argument(
+        "--plant-corruption", action="store_true",
+        help=(
+            "shrink against the corruption-detection predicate instead "
+            "of an oracle failure"
+        ),
+    )
+    cshrink.add_argument(
+        "--max-evals", type=int, default=200,
+        help="shrinker evaluation budget (default 200)",
+    )
+    cshrink.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the minimized case JSON here",
+    )
+    ccorpus = check_sub.add_parser(
+        "corpus",
+        help="list (or --replay) the saved regression corpus",
+    )
+    ccorpus.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="corpus directory (default tests/corpus)",
+    )
+    ccorpus.add_argument(
+        "--replay", action="store_true",
+        help="re-run every corpus case; exit 1 if any finding resurfaces",
+    )
+    ccorpus.add_argument(
+        "--matrix", choices=["quick", "full"], default="quick",
+        help="matrix used for replay (default quick)",
+    )
+
     experiment = subcommands.add_parser(
         "experiment", help="run one experiment (or 'all')"
     )
@@ -509,6 +617,138 @@ def _run_bench(args, out: Callable[[str], None]) -> int:
     return 2
 
 
+def _corruption_predicate(matrix: str):
+    """Shrinking predicate for planted corruption: 'fails' (returns a
+    message) as long as at least one leg still *detects* the corruption
+    — so shrinking minimizes the case while detection persists."""
+    from repro.check import run_matrix
+
+    def caught(case):
+        report = run_matrix(case, matrix=matrix, plant_corruption=True)
+        hits = [c for c in report.cells if c.ok and not c.skipped]
+        return hits[0].detail or hits[0].name if hits else None
+
+    return caught
+
+
+def _run_check(args, out: Callable[[str], None]) -> int:
+    """``repro check``: the differential correctness harness."""
+    import json as _json
+
+    from repro.check import generate_case, run_matrix, shrink
+    from repro.check.fuzzer import (
+        DEFAULT_CORPUS_DIR,
+        check_case,
+        corpus_files,
+        fuzz,
+        load_case,
+        replay_corpus,
+        save_case,
+    )
+    from repro.check.generators import case_to_obj
+
+    if args.check_command == "run":
+        case = generate_case(args.seed, num_rows=args.rows)
+        report = run_matrix(
+            case, matrix=args.matrix,
+            plant_corruption=args.plant_corruption,
+        )
+        out(report.render())
+        if not args.plant_corruption:
+            return 0 if report.ok else 1
+        missed = report.failures
+        if missed:
+            out("")
+            out(f"CORRUPTION MISSED in {len(missed)} leg(s) — "
+                "a corrupted block read back clean.")
+            return 1
+        out("")
+        out("corruption caught in every leg; shrinking to a minimal "
+            "repro...")
+        minimal, message = shrink(
+            case, _corruption_predicate(args.matrix)
+        )
+        out(f"minimal repro: {minimal.describe()}")
+        out(f"  detected as: {message}")
+        out(f"  reproduce:   repro check run --matrix {args.matrix} "
+            f"--seed {args.seed} --plant-corruption")
+        return 0
+
+    if args.check_command == "fuzz":
+        corpus_dir = args.corpus or DEFAULT_CORPUS_DIR
+        result = fuzz(
+            args.budget, seed=args.seed, matrix=args.matrix,
+            corpus_dir=corpus_dir,
+            stop_on_failure=not args.keep_going, log=out,
+        )
+        out(f"fuzz: {result.executed} case(s) executed, "
+            f"{len(result.failures)} failure(s)")
+        for failure in result.failures:
+            out(f"  seed {failure.seed}: {failure.message}")
+            out(f"    minimal: {failure.shrunk.describe()}")
+            if failure.corpus_path:
+                out(f"    corpus:  {failure.corpus_path}")
+            out(f"    repro:   {failure.repro_command()}")
+        return 0 if result.ok else 1
+
+    if args.check_command == "shrink":
+        if args.case is not None:
+            try:
+                case = load_case(args.case)
+            except (OSError, ValueError, KeyError) as exc:
+                out(f"error: cannot load case {args.case}: {exc}")
+                return 1
+        else:
+            case = generate_case(args.seed)
+        if args.plant_corruption:
+            predicate = _corruption_predicate(args.matrix)
+        else:
+            predicate = lambda c: check_case(c, matrix=args.matrix)  # noqa: E731
+        if predicate(case) is None:
+            out(f"{case.describe()}: predicate does not fail; "
+                "nothing to shrink")
+            return 1 if args.plant_corruption else 0
+        minimal, message = shrink(
+            case, predicate, max_evals=args.max_evals, log=out
+        )
+        out(f"minimal: {minimal.describe()}")
+        out(f"  fails as: {message}")
+        if args.out:
+            payload = _json.dumps(
+                case_to_obj(minimal), indent=2, sort_keys=True
+            )
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            out(f"wrote {args.out}")
+        return 0
+
+    if args.check_command == "corpus":
+        directory = args.dir or DEFAULT_CORPUS_DIR
+        paths = corpus_files(directory)
+        if not paths:
+            out(f"corpus {directory}: empty")
+            return 0
+        if not args.replay:
+            for path in paths:
+                try:
+                    case = load_case(path)
+                    out(f"{path}  {case.describe()}  [{case.note}]")
+                except (OSError, ValueError, KeyError) as exc:
+                    out(f"{path}  UNREADABLE: {exc}")
+            return 0
+        failures = 0
+        for path, message in replay_corpus(directory, matrix=args.matrix):
+            if message is None:
+                out(f"[  ok] {path}")
+            else:
+                failures += 1
+                out(f"[FAIL] {path}  {message}")
+        out(f"corpus replay: {len(paths)} case(s), {failures} failure(s)")
+        return 0 if failures == 0 else 1
+
+    return 2
+
+
 def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -520,6 +760,8 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         return _run_perf(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
+    if args.command == "check":
+        return _run_check(args, out)
     if args.command == "report" and args.trace is not None:
         report = _load_trace(args.trace, out)
         if report is None:

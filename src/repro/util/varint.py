@@ -18,6 +18,14 @@ from __future__ import annotations
 
 MAX_VARINT_BYTES = 10  # enough for any 64-bit value
 
+#: the first unsigned value that no longer fits in MAX_VARINT_BYTES.
+#: The encoder enforces the same ceiling the decoder does: without the
+#: check, values >= 2**70 would encode into 11+ bytes that
+#: :func:`decode_varint` then rejects as "varint too long" — an
+#: encode/decode asymmetry that turns a bad input into a corrupt file
+#: instead of an error at the write site.
+_VARINT_LIMIT = 1 << (7 * MAX_VARINT_BYTES)
+
 
 class VarintError(ValueError):
     """Raised when a buffer does not contain a well-formed varint."""
@@ -26,10 +34,16 @@ class VarintError(ValueError):
 def encode_varint(value: int, out: bytearray) -> int:
     """Append ``value`` to ``out`` as an unsigned LEB128 varint.
 
-    Returns the number of bytes written.  ``value`` must be >= 0.
+    Returns the number of bytes written.  ``value`` must be >= 0 and
+    fit in ``MAX_VARINT_BYTES`` bytes (i.e. < 2**70).
     """
     if value < 0:
         raise VarintError(f"varint cannot encode negative value {value}")
+    if value >= _VARINT_LIMIT:
+        raise VarintError(
+            f"varint cannot encode {value}: needs more than "
+            f"{MAX_VARINT_BYTES} bytes"
+        )
     written = 0
     while True:
         byte = value & 0x7F
@@ -89,6 +103,11 @@ def varint_size(value: int) -> int:
     """Number of bytes :func:`encode_varint` would use for ``value``."""
     if value < 0:
         raise VarintError(f"varint cannot encode negative value {value}")
+    if value >= _VARINT_LIMIT:
+        raise VarintError(
+            f"varint cannot encode {value}: needs more than "
+            f"{MAX_VARINT_BYTES} bytes"
+        )
     size = 1
     value >>= 7
     while value:

@@ -1,0 +1,226 @@
+"""Boundary-value property tests for the byte-level codecs.
+
+The serde layer is where format bugs hide (empty strings, NUL bytes,
+extreme varints, sign edges), so varint/zigzag and the binary datum
+codec get both explicit boundary tables and Hypothesis round-trip
+properties.  These tests pinned down — and now guard — the
+encode/decode asymmetry where ``encode_varint`` accepted values >= 2**70
+that ``decode_varint`` then refused as "varint too long".
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serde.binary import decode_datum, encode_datum
+from repro.serde.record import Record
+from repro.serde.schema import Schema
+from repro.util.varint import (
+    MAX_VARINT_BYTES,
+    VarintError,
+    decode_varint,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    varint_size,
+    zigzag_size,
+)
+
+#: the unsigned ceiling shared by encoder and decoder
+VARINT_LIMIT = 1 << (7 * MAX_VARINT_BYTES)
+
+UNSIGNED_BOUNDARIES = [
+    0, 1, 127, 128, 16383, 16384,
+    2**31 - 1, 2**31, 2**32 - 1, 2**63 - 1, 2**64 - 1,
+    VARINT_LIMIT - 1,
+]
+
+SIGNED_BOUNDARIES = [
+    0, 1, -1, 63, 64, -64, -65, 127, -128,
+    2**31 - 1, -(2**31), 2**63 - 1, -(2**63),
+]
+
+STRING_BOUNDARIES = [
+    "", "\x00", "a\x00b", "x" * 1000, "héllo ✓", "tab\tnl\n",
+]
+
+BYTES_BOUNDARIES = [b"", b"\x00", b"\x00" * 64, b"\xff" * 16, b"abc"]
+
+
+class TestVarintBoundaries:
+    @pytest.mark.parametrize("value", UNSIGNED_BOUNDARIES)
+    def test_round_trip(self, value):
+        buf = bytearray()
+        written = encode_varint(value, buf)
+        assert written == len(buf) == varint_size(value)
+        assert written <= MAX_VARINT_BYTES
+        decoded, pos = decode_varint(buf)
+        assert (decoded, pos) == (value, len(buf))
+
+    @pytest.mark.parametrize("value", SIGNED_BOUNDARIES)
+    def test_zigzag_round_trip(self, value):
+        buf = bytearray()
+        written = encode_zigzag(value, buf)
+        assert written == len(buf) == zigzag_size(value)
+        decoded, pos = decode_zigzag(buf)
+        assert (decoded, pos) == (value, len(buf))
+
+    def test_negative_rejected(self):
+        with pytest.raises(VarintError):
+            encode_varint(-1, bytearray())
+        with pytest.raises(VarintError):
+            varint_size(-1)
+
+    def test_truncated_rejected(self):
+        buf = bytearray()
+        encode_varint(2**31 - 1, buf)
+        with pytest.raises(VarintError):
+            decode_varint(buf[:-1])
+
+    def test_overlong_rejected_by_decoder(self):
+        overlong = bytes([0x80] * MAX_VARINT_BYTES + [0x01])
+        with pytest.raises(VarintError):
+            decode_varint(overlong)
+
+    def test_encode_decode_ceilings_agree(self):
+        """The asymmetry this suite surfaced: the encoder used to
+        accept values the decoder cannot read back.  Both sides must
+        now enforce the same 2**70 ceiling."""
+        buf = bytearray()
+        encode_varint(VARINT_LIMIT - 1, buf)  # 10 bytes: decodable
+        assert decode_varint(buf)[0] == VARINT_LIMIT - 1
+        with pytest.raises(VarintError):
+            encode_varint(VARINT_LIMIT, bytearray())
+        with pytest.raises(VarintError):
+            varint_size(VARINT_LIMIT)
+        with pytest.raises(VarintError):
+            encode_zigzag(VARINT_LIMIT // 2, bytearray())
+
+    @given(st.integers(min_value=0, max_value=VARINT_LIMIT - 1))
+    @settings(max_examples=200)
+    def test_round_trip_property(self, value):
+        buf = bytearray()
+        encode_varint(value, buf)
+        assert decode_varint(buf) == (value, len(buf))
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=200)
+    def test_zigzag_round_trip_property(self, value):
+        buf = bytearray()
+        encode_zigzag(value, buf)
+        assert decode_zigzag(buf) == (value, len(buf))
+
+    @given(st.integers(min_value=0, max_value=VARINT_LIMIT - 1))
+    @settings(max_examples=100)
+    def test_encoding_is_canonical_and_ordered_by_size(self, value):
+        buf = bytearray()
+        encode_varint(value, buf)
+        # minimal length: the top byte never encodes a zero continuation
+        assert len(buf) == max(1, (value.bit_length() + 6) // 7)
+
+
+class TestBinaryDatumBoundaries:
+    @pytest.mark.parametrize("value", SIGNED_BOUNDARIES)
+    @pytest.mark.parametrize("kind", ["int", "long", "time"])
+    def test_integer_kinds(self, kind, value):
+        schema = Schema(kind)
+        assert decode_datum(schema, encode_datum(schema, value)) == value
+
+    @pytest.mark.parametrize("value", STRING_BOUNDARIES)
+    def test_strings(self, value):
+        schema = Schema.string()
+        assert decode_datum(schema, encode_datum(schema, value)) == value
+
+    @pytest.mark.parametrize("value", BYTES_BOUNDARIES)
+    def test_bytes(self, value):
+        schema = Schema.bytes_()
+        assert decode_datum(schema, encode_datum(schema, value)) == value
+
+    @pytest.mark.parametrize(
+        "value", [0.0, -0.0, 1.0, -1.5, 1e300, -1e-300, float("inf")]
+    )
+    def test_doubles_bit_exact(self, value):
+        import struct
+
+        schema = Schema.double()
+        decoded = decode_datum(schema, encode_datum(schema, value))
+        assert struct.pack("<d", decoded) == struct.pack("<d", value)
+
+    def test_empty_containers(self):
+        arr = Schema.array(items=Schema.string())
+        assert decode_datum(arr, encode_datum(arr, [])) == []
+        mp = Schema.map(values=Schema.int_())
+        assert decode_datum(mp, encode_datum(mp, {})) == {}
+
+    def test_map_with_empty_and_nul_keys(self):
+        mp = Schema.map(values=Schema.string())
+        value = {"": "", "\x00": "v", "k": "\x00"}
+        assert decode_datum(mp, encode_datum(mp, value)) == value
+
+    @given(
+        st.lists(
+            st.text(max_size=20).filter(lambda s: "\udc80" not in s),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_string_array_round_trip(self, values):
+        schema = Schema.array(items=Schema.string())
+        assert decode_datum(schema, encode_datum(schema, values)) == values
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=10),
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_map_round_trip(self, values):
+        schema = Schema.map(values=Schema.long_())
+        assert decode_datum(schema, encode_datum(schema, values)) == values
+
+    def test_record_with_boundary_fields(self):
+        schema = Schema.record(
+            "edge",
+            [
+                ("empty", Schema.string()),
+                ("nul", Schema.bytes_()),
+                ("big", Schema.long_()),
+                ("neg", Schema.int_()),
+                ("flag", Schema.boolean()),
+            ],
+        )
+        rec = Record(schema, {
+            "empty": "", "nul": b"\x00\x00", "big": 2**63 - 1,
+            "neg": -(2**31), "flag": False,
+        })
+        decoded = decode_datum(schema, encode_datum(schema, rec))
+        assert decoded.to_dict() == rec.to_dict()
+
+    def test_skip_matches_read_offsets(self):
+        """skip_datum must consume exactly the bytes read_datum does,
+        field by field — the invariant lazy records depend on."""
+        from repro.serde.binary import BinaryDecoder
+        from repro.util.buffers import ByteReader
+
+        schema = Schema.record(
+            "mix",
+            [
+                ("s", Schema.string()),
+                ("b", Schema.bytes_()),
+                ("arr", Schema.array(items=Schema.long_())),
+                ("mp", Schema.map(values=Schema.string())),
+            ],
+        )
+        rec = Record(schema, {
+            "s": "", "b": b"\x00", "arr": [0, 2**63 - 1, -1],
+            "mp": {"": "\x00"},
+        })
+        payload = encode_datum(schema, rec)
+        reading = BinaryDecoder(ByteReader(payload))
+        reading.read_datum(schema)
+        skipping = BinaryDecoder(ByteReader(payload))
+        skipping.skip_datum(schema)
+        assert reading.reader.offset == skipping.reader.offset \
+            == len(payload)

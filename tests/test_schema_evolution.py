@@ -164,3 +164,113 @@ class TestAddColumnStillWorks:
                    [float(i) for i in range(20)])
         out = read_all(fs, "/ev/d", columns=["rank"])
         assert [row["rank"] for row in out] == [float(i) for i in range(20)]
+
+
+class TestResolutionPins:
+    """Regression pins for docs/format-specs.md "Schema evolution &
+    resolution" — the normative cross-version read behavior."""
+
+    def test_file_wins_over_default_per_directory(self, fs):
+        # Backfill only the *first* split-directory: it must read the
+        # file while later directories still synthesize the default.
+        from repro.core.columnio import ColumnSpec, encode_column_file
+        from repro.core.cif import column_record_count
+
+        schema = micro_schema()
+        write_dataset(fs, "/pin/d", schema, micro_records(schema, 120),
+                      split_bytes=16 * 1024)
+        dirs = split_dirs_of(fs, "/pin/d")
+        assert len(dirs) >= 2
+        declare_column(fs, "/pin/d", "score", Schema.int_(), default=-1)
+        first_count = column_record_count(fs, f"{dirs[0]}/str0")
+        payload = encode_column_file(
+            Schema.int_(), list(range(first_count)), ColumnSpec("plain")
+        )
+        fs.write_file(f"{dirs[0]}/score", payload)
+
+        out = [row["score"] for row in read_all(fs, "/pin/d", ["score"])]
+        assert out[:first_count] == list(range(first_count))
+        assert out[first_count:] == [-1] * (120 - first_count)
+
+    def test_old_projection_reads_exactly_original_data(self, fs):
+        # Old reader / new writer: projecting the pre-evolution columns
+        # over a dataset that gained a column AND an appended batch must
+        # return the original rows byte-for-byte, untaxed by evolution.
+        from repro.core.cof import ColumnOutputFormat
+        from repro.serde.record import Record
+
+        schema = micro_schema()
+        records = micro_records(schema, 40)
+        write_dataset(fs, "/pin/d", schema, records, split_bytes=16 * 1024)
+        declare_column(fs, "/pin/d", "region", Schema.string(), default="eu")
+        evolved = read_dataset_schema(fs, "/pin/d")
+        batch = []
+        for record in micro_records(schema, 10, seed=3):
+            row = record.to_dict()
+            row["region"] = "ap"
+            batch.append(Record(evolved, row))
+        ColumnOutputFormat(evolved).write(
+            fs, "/pin/d", batch, first_split_index=500
+        )
+
+        old_columns = schema.field_names
+        out = read_all(fs, "/pin/d", columns=old_columns)
+        expected = [r.to_dict() for r in records] + [
+            {k: v for k, v in r.to_dict().items() if k != "region"}
+            for r in batch
+        ]
+        assert out == expected
+        assert all("region" not in row for row in out)
+
+    def test_missing_default_error_is_the_documented_one(self, fs):
+        schema = micro_schema()
+        write_dataset(fs, "/pin/d", schema, micro_records(schema, 10))
+        evolved = read_dataset_schema(fs, "/pin/d").with_field(
+            "bare", Schema.long_()
+        )
+        for split_dir in split_dirs_of(fs, "/pin/d"):
+            with fs.create(f"{split_dir}/.schema", overwrite=True) as out:
+                out.write(evolved.to_json().encode())
+        fmt = ColumnInputFormat("/pin/d", columns=["bare"])
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        with pytest.raises(ValueError, match="declares no default"):
+            list(fmt.open_reader(fs, split, make_ctx()))
+
+    def test_row_formats_have_no_resolution(self, fs):
+        # Writer-schema-wins camp: projecting a column the writer never
+        # wrote is a SchemaError, never a default.
+        from repro.formats import RCFileInputFormat, write_rcfile
+
+        schema = micro_schema()
+        records = micro_records(schema, 12)
+        write_rcfile(fs, "/pin/data.rc", schema, records)
+        fmt = RCFileInputFormat("/pin/data.rc", columns=["ghost"])
+        split = fmt.get_splits(fs, fs.cluster)[0]
+        with pytest.raises(SchemaError, match="has no field"):
+            for _ in fmt.open_reader(fs, split, make_ctx()):
+                pass
+
+    def test_sequence_file_header_schema_is_authoritative(self, fs):
+        # New writer / old reader: the reader has no schema of its own —
+        # records decode under the header (writer) schema, extra field
+        # included.
+        from repro.formats import SequenceFileInputFormat, write_sequence_file
+        from repro.serde.record import Record
+
+        schema = micro_schema()
+        evolved = schema.with_field("region", Schema.string(),
+                                    default="eu")
+        batch = []
+        for record in micro_records(schema, 8):
+            row = record.to_dict()
+            row["region"] = "ap"
+            batch.append(Record(evolved, row))
+        write_sequence_file(fs, "/pin/data.seq", evolved, batch)
+
+        fmt = SequenceFileInputFormat("/pin/data.seq")
+        out = []
+        for split in fmt.get_splits(fs, fs.cluster):
+            for _, record in fmt.open_reader(fs, split, make_ctx()):
+                out.append(record.to_dict())
+        assert [row["region"] for row in out] == ["ap"] * 8
+        assert out == [r.to_dict() for r in batch]
