@@ -487,13 +487,19 @@ class ScenarioDiff:
     def ok(self) -> bool:
         return self.error is None and not self.regressions
 
-    def render(self) -> str:
+    def render(self, pal=None) -> str:
+        from repro.util.term import PLAIN
+
+        pal = pal if pal is not None else PLAIN
         if self.error:
-            return f"{self.name}: ERROR — {self.error}"
+            return pal.red(f"{self.name}: ERROR — {self.error}")
         compared = len(self.entries)
         notable = [e for e in self.entries if e.severity != "ok"]
+        verdict = (
+            pal.green("OK") if self.ok else pal.red("REGRESSED")
+        )
         header = (
-            f"{self.name}: {'OK' if self.ok else 'REGRESSED'} "
+            f"{self.name}: {verdict} "
             f"({compared} metrics, {len(self.regressions)} regression(s))"
         )
         lines = [header]
@@ -562,15 +568,27 @@ class CheckReport:
     def ok(self) -> bool:
         return all(diff.ok for diff in self.diffs)
 
-    def render(self) -> str:
+    def render(self, pal=None, quiet: bool = False) -> str:
+        """``pal`` colors the verdicts; ``quiet`` keeps only scenarios
+        that have something to say (errors or non-ok metrics)."""
+        from repro.util.term import PLAIN
+
+        pal = pal if pal is not None else PLAIN
         lines = [
             f"Benchmark regression check (rel_tol={self.rel_tol:g}, "
             f"{len(self.diffs)} scenario(s))"
         ]
         for diff in self.diffs:
-            lines.append(diff.render())
+            if quiet and diff.ok and not diff.error and not any(
+                entry.severity != "ok" for entry in diff.entries
+            ):
+                continue
+            lines.append(diff.render(pal=pal))
         lines.append(
-            "RESULT: " + ("PASS" if self.ok else "FAIL — see regressions above")
+            "RESULT: " + (
+                pal.green("PASS") if self.ok
+                else pal.red("FAIL — see regressions above")
+            )
         )
         return "\n".join(lines)
 

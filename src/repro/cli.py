@@ -8,6 +8,9 @@ Usage::
     python -m repro experiment table1 --records 800
     python -m repro experiment all
     python -m repro report run.jsonl
+    python -m repro export chrome run.jsonl --out trace.json
+    python -m repro top --records 300
+    python -m repro explain /data/crawl-cif --layout plain
 
 Each experiment prints the same rows/series the paper's corresponding
 table or figure reports (simulated time; real bytes).  With
@@ -176,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
             "render (requires a trace argument)"
         ),
     )
+    report.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+    report.add_argument(
+        "--quiet", action="store_true",
+        help="print only the header, warnings and job counters",
+    )
 
     perf = subcommands.add_parser(
         "perf",
@@ -205,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("trace", help="flight-recorder JSONL")
     tl.add_argument(
         "--width", type=int, default=64, help="chart width in characters"
+    )
+    tl.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
     )
     br = perf_sub.add_parser(
         "breakdown",
@@ -283,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
     bcheck.add_argument(
         "--rel-tol", type=float, default=None,
         help="relative tolerance for directional metrics (default 0.02)",
+    )
+    bcheck.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+    bcheck.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-scenario OK lines; only failures and the verdict",
     )
 
     check = subcommands.add_parser(
@@ -412,6 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     experiment.add_argument(
+        "--gzip", action="store_true",
+        help=(
+            "gzip the --trace-out artifact (a .gz suffix implies this; "
+            "repro report|perf|export|explain load either framing)"
+        ),
+    )
+    experiment.add_argument(
         "--faults", dest="faults", default=None, metavar="PLAN",
         help=(
             "run under a fault plan (JSON, see docs/fault_tolerance.md): "
@@ -461,6 +491,170 @@ def build_parser() -> argparse.ArgumentParser:
             "(replica.failover, colocation.restored, ...) land in a "
             "RunReport, like experiment runs"
         ),
+    )
+    fsck.add_argument(
+        "--gzip", action="store_true",
+        help="gzip the --trace-out artifact (a .gz suffix implies this)",
+    )
+
+    export = subcommands.add_parser(
+        "export",
+        help=(
+            "convert a flight recording to Chrome trace-event JSON "
+            "(chrome://tracing, Perfetto) or Prometheus text exposition"
+        ),
+    )
+    export.add_argument(
+        "format", choices=["chrome", "prom"],
+        help="chrome: trace-event JSON; prom: Prometheus text exposition",
+    )
+    export.add_argument(
+        "trace", help="flight-recorder JSONL (plain or gzipped)"
+    )
+    export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write to a file instead of stdout",
+    )
+    export.add_argument(
+        "--check", action="store_true",
+        help=(
+            "validate the export (chrome: balanced begin/end pairs, "
+            "monotonic timestamps; prom: re-parse the exposition); "
+            "exit 1 on problems"
+        ),
+    )
+
+    top = subcommands.add_parser(
+        "top",
+        help=(
+            "live job monitor: run the Section 6.3 crawl job (or replay "
+            "a recording) with streaming progress frames from the event "
+            "bus — per-node slot occupancy, phase bars, faults"
+        ),
+    )
+    top.add_argument(
+        "--records", type=int, default=300,
+        help="crawl records to load for the demo job (default 300)",
+    )
+    top.add_argument(
+        "--nodes", type=int, default=8,
+        help="datanodes in the simulated cluster (default 8)",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=1.0,
+        help="seconds of wall time between frames (default 1.0)",
+    )
+    top.add_argument(
+        "--frame-every", type=int, default=40, metavar="N",
+        help="with --replay, emit a frame every N events (default 40)",
+    )
+    top.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="run the job under this fault plan (injections show live)",
+    )
+    top.add_argument(
+        "--replay", default=None, metavar="TRACE",
+        help=(
+            "replay a recorded run's events through the monitor instead "
+            "of running a job"
+        ),
+    )
+    top.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="also write the run's flight recording here",
+    )
+    top.add_argument(
+        "--gzip", action="store_true",
+        help="gzip the --trace-out artifact (a .gz suffix implies this)",
+    )
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+    top.add_argument(
+        "--quiet", action="store_true",
+        help="emit only the final summary frame",
+    )
+
+    explain = subcommands.add_parser(
+        "explain",
+        help=(
+            "storage-introspection advisor: scan a freshly built dataset "
+            "(or analyze a recorded trace), render the per-split/"
+            "per-column access heatmap, reconcile it exactly against the "
+            "I/O probes, and emit counter-backed recommendations"
+        ),
+    )
+    explain.add_argument(
+        "path", nargs="?", default="/data/crawl-cif",
+        help="dataset path to build and explain (default /data/crawl-cif)",
+    )
+    explain.add_argument(
+        "--records", type=int, default=300,
+        help="crawl records to load (default 300)",
+    )
+    explain.add_argument(
+        "--nodes", type=int, default=8,
+        help="datanodes in the simulated cluster (default 8)",
+    )
+    explain.add_argument(
+        "--layout", choices=["plain", "skiplist", "cblock"],
+        default="plain",
+        help="column layout for every column (default plain)",
+    )
+    explain.add_argument(
+        "--codec", choices=["lzo", "zlib"], default="lzo",
+        help="cblock compression codec (default lzo)",
+    )
+    explain.add_argument(
+        "--columns", default=None, metavar="A,B,...",
+        help="projection pushed down to the scan (default: all columns)",
+    )
+    explain.add_argument(
+        "--touch", default="url,metadata", metavar="A,B,...",
+        help=(
+            "columns the scan deserializes per record, like a map "
+            "function would (default url,metadata)"
+        ),
+    )
+    explain.add_argument(
+        "--eager", action="store_true",
+        help="materialize whole records instead of lazy per-column reads",
+    )
+    explain.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="apply every event of this fault plan before scanning",
+    )
+    explain.add_argument(
+        "--no-cpp", action="store_true",
+        help="load without the ColumnPlacementPolicy (no co-location)",
+    )
+    explain.add_argument(
+        "--job", default=None, metavar="TRACE",
+        help=(
+            "analyze a recorded flight recording's storage counters "
+            "instead of running a scan (layouts inferred from counters)"
+        ),
+    )
+    explain.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="also write the scan's flight recording here",
+    )
+    explain.add_argument(
+        "--gzip", action="store_true",
+        help="gzip the --trace-out artifact (a .gz suffix implies this)",
+    )
+    explain.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+    explain.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the heatmap grid; only reconciliation and advice",
+    )
+    explain.add_argument(
+        "--require-recommendations", action="store_true",
+        help="exit 1 when the advisor finds nothing to recommend",
     )
     return parser
 
@@ -527,7 +721,9 @@ def _run_fsck(args, out: Callable[[str], None]) -> int:
     if recorder is not None:
         recorder.meta["healthy"] = report.healthy
         try:
-            recorder.report().write_jsonl(args.trace_out)
+            recorder.report().write_jsonl(
+                args.trace_out, gzipped=args.gzip or None
+            )
         except OSError as exc:
             out(f"error: cannot write flight recording: {exc}")
             return 1
@@ -544,6 +740,323 @@ def _load_trace(path: str, out: Callable[[str], None]):
     except (OSError, ValueError) as exc:
         out(f"error: cannot read flight recording {path}: {exc}")
         return None
+
+
+def _load_plan(path: Optional[str], out: Callable[[str], None]):
+    """Load a fault plan; returns (plan, ok) so None stays valid."""
+    if not path:
+        return None, True
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.load(path), True
+    except (OSError, ValueError, TypeError) as exc:
+        out(f"error: cannot load fault plan {path}: {exc}")
+        return None, False
+
+
+def _run_export(args, out: Callable[[str], None]) -> int:
+    """``repro export``: recordings -> Chrome trace / Prometheus text."""
+    import json as _json
+
+    from repro.obs import (
+        chrome_trace,
+        parse_prometheus_text,
+        prometheus_text,
+        validate_chrome_trace,
+    )
+
+    report = _load_trace(args.trace, out)
+    if report is None:
+        return 1
+    for warning in report.warnings:
+        out(f"WARNING: {warning}")
+    problems: List[str] = []
+    if args.format == "chrome":
+        trace = chrome_trace(report)
+        if args.check:
+            problems = validate_chrome_trace(trace)
+        payload = _json.dumps(trace, sort_keys=True)
+    else:
+        payload = prometheus_text(report)
+        if args.check:
+            try:
+                parse_prometheus_text(payload)
+            except ValueError as exc:
+                problems = [str(exc)]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        out(f"wrote {args.out}")
+    else:
+        out(payload)
+    for problem in problems:
+        out(f"INVALID: {problem}")
+    return 1 if problems else 0
+
+
+def _run_top(args, out: Callable[[str], None]) -> int:
+    """``repro top``: live (or replayed) event-bus job monitoring."""
+    from repro.obs import EventBus, FlightRecorder, LiveMonitor
+    from repro.util.term import palette
+
+    tty = bool(getattr(sys.stdout, "isatty", lambda: False)())
+    pal = palette(args.no_color)
+
+    if args.replay:
+        report = _load_trace(args.replay, out)
+        if report is None:
+            return 1
+        for warning in report.warnings:
+            out(pal.yellow(f"WARNING: {warning}"))
+        monitor = LiveMonitor(
+            out, pal=pal, tty=tty, quiet=args.quiet,
+            frame_every=max(1, args.frame_every),
+        )
+        bus = EventBus()
+        monitor.attach(bus)
+        delivered = bus.replay(report.events)
+        monitor.final()
+        if not delivered:
+            out("(recording carries no events — re-record it with this "
+                "version to monitor it)")
+        return 0
+
+    from repro.bench import harness
+    from repro.core import write_dataset
+    from repro.core.cif import ColumnInputFormat
+    from repro.mapreduce.runner import run_job
+    from repro.workloads.crawl import crawl_records, crawl_schema
+    from repro.workloads.jobs import distinct_content_types_job
+
+    plan, ok = _load_plan(args.faults, out)
+    if not ok:
+        return 1
+    dataset = "/data/top-cif"
+    recorder = FlightRecorder(
+        meta={"command": "top", "records": args.records, "nodes": args.nodes}
+    )
+    monitor = LiveMonitor(
+        out, refresh=args.refresh, pal=pal, tty=tty, quiet=args.quiet
+    )
+    monitor.attach(recorder.bus)
+    with recorder.activate():
+        fs = harness.cluster_fs(num_nodes=args.nodes)
+        fs.use_column_placement()
+        with recorder.tracer.span("load", kind="load", dataset=dataset):
+            write_dataset(
+                fs, dataset, crawl_schema(), crawl_records(args.records),
+                split_bytes=harness.MICRO_SPLIT_BYTES,
+            )
+        job = distinct_content_types_job(
+            ColumnInputFormat(dataset, columns=["url", "metadata"]),
+            num_reducers=min(4, args.nodes),
+        )
+        result = run_job(fs, job, faults=plan)
+    monitor.final()
+    out(f"job finished: {result.total_time:.3f}s simulated, "
+        f"{len(result.output)} output row(s)")
+    if args.trace_out:
+        try:
+            recorder.report().write_jsonl(
+                args.trace_out, gzipped=args.gzip or None
+            )
+        except OSError as exc:
+            out(f"error: cannot write flight recording: {exc}")
+            return 1
+        out(f"wrote flight recording to {args.trace_out}")
+    return 0
+
+
+def _explain_scan(fs, input_format, touch_columns) -> None:
+    """Scan every split on a node that hosts it, as map tasks would.
+
+    ``harness.scan`` reads the whole dataset from one node, which makes
+    every co-located split look remote; the advisor's balancer rule
+    needs locality-faithful accounting, so each split gets its own
+    context pinned to one of the split's location nodes.
+    """
+    from repro.bench import harness
+    from repro.obs import current_obs
+
+    obs = current_obs()
+    with obs.tracer.span(
+        "scan", kind="scan", format=type(input_format).__name__,
+        dataset=input_format.dataset,
+    ):
+        for split in input_format.get_splits(fs, fs.cluster):
+            node = split.locations[0] if split.locations else 0
+            ctx = harness.make_context(fs, node=node)
+            reader = input_format.open_reader(fs, split, ctx)
+            try:
+                with obs.tracer.span(
+                    "split_scan", kind="split", split=split.label,
+                    node=node, metrics=ctx.metrics,
+                ):
+                    for _, record in reader:
+                        for column in touch_columns:
+                            record.get(column)
+            finally:
+                reader.close()
+            obs.record_metrics(f"scan:{split.label}", ctx.metrics)
+
+
+def _emit_explain(
+    args, out, pal, heatmap, layouts, problems, recommendations
+) -> int:
+    """Shared tail of ``repro explain``: heatmap, verdict, advice."""
+    summary = ", ".join(
+        f"{column}={layouts[column]}" for column in sorted(layouts)
+    )
+    out(pal.bold(f"dataset {heatmap.dataset}")
+        + f"  ({len(heatmap.split_dirs)} split dir(s), "
+        + f"{heatmap.runs} run(s) accumulated)"
+        + (f"  layouts: {summary}" if summary else ""))
+    if not args.quiet:
+        out("")
+        out(heatmap.render())
+    out("")
+    if problems:
+        out(pal.red(
+            f"RECONCILIATION FAILED: {len(problems)} counter mismatch(es) "
+            "between the heatmap and the independent I/O probes"
+        ))
+        for problem in problems:
+            out(f"  {problem}")
+        return 1
+    out(pal.green(
+        "reconciliation OK: heatmap totals match the stream probes and "
+        "sim.Metrics exactly"
+    ))
+    out("")
+    if not recommendations:
+        out("no recommendations — this access pattern uses the layout well")
+        return 1 if args.require_recommendations else 0
+    out(pal.bold(f"recommendations ({len(recommendations)}):"))
+    for recommendation in recommendations:
+        out("  * " + recommendation.render().replace("\n", "\n  "))
+    return 0
+
+
+def _run_explain(args, out: Callable[[str], None]) -> int:
+    """``repro explain``: the storage-introspection advisor."""
+    from repro.obs import (
+        DatasetHeatmap,
+        FlightRecorder,
+        advise,
+        column_layouts,
+        infer_layouts,
+        reconcile,
+    )
+    from repro.util.term import palette
+
+    pal = palette(args.no_color)
+
+    if args.job:
+        report = _load_trace(args.job, out)
+        if report is None:
+            return 1
+        for warning in report.warnings:
+            out(pal.yellow(f"WARNING: {warning}"))
+        heatmap = DatasetHeatmap.from_registry(args.path, report.registry)
+        if not heatmap.cells:
+            out(f"error: {args.job} records no storage accesses under "
+                f"{args.path} — pass the dataset path the job scanned")
+            return 1
+        layouts = infer_layouts(heatmap)
+        # Arbitrary job traces may mix eager and lazy scans, so the
+        # lazy-materialization cross-check is not applicable.
+        problems = reconcile(
+            heatmap, report, scan_only=False, check_lazy=False
+        )
+        recommendations = advise(heatmap, layouts=layouts)
+        return _emit_explain(
+            args, out, pal, heatmap, layouts, problems, recommendations
+        )
+
+    from repro.bench import harness
+    from repro.core import write_dataset
+    from repro.core.cif import ColumnInputFormat
+    from repro.core.columnio import ColumnSpec
+    from repro.core.cof import split_dirs_of
+    from repro.faults import FaultInjector
+
+    plan, ok = _load_plan(args.faults, out)
+    if not ok:
+        return 1
+    from repro.workloads.crawl import crawl_records, crawl_schema
+
+    touch = [c.strip() for c in args.touch.split(",") if c.strip()]
+    columns = None
+    if args.columns:
+        columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+    recorder = FlightRecorder(meta={
+        "command": "explain", "dataset": args.path,
+        "layout": args.layout, "records": args.records,
+    })
+    with recorder.activate():
+        fs = harness.cluster_fs(num_nodes=args.nodes)
+        if not args.no_cpp:
+            fs.use_column_placement()
+        with recorder.tracer.span("load", kind="load", dataset=args.path):
+            write_dataset(
+                fs, args.path, crawl_schema(), crawl_records(args.records),
+                default_spec=ColumnSpec(format=args.layout, codec=args.codec),
+                split_bytes=harness.MICRO_SPLIT_BYTES,
+            )
+        if plan is not None:
+            fired = FaultInjector(fs, plan).fire_all()
+            out(f"applied {fired} fault event(s) from {args.faults}")
+        try:
+            _explain_scan(
+                fs,
+                ColumnInputFormat(
+                    args.path, columns=columns, lazy=not args.eager
+                ),
+                touch,
+            )
+        except (KeyError, ValueError) as exc:
+            out(f"error: scan failed: {exc}")
+            return 1
+        # CPP colocation health gauges, straight off the namenode.
+        split_dirs = split_dirs_of(fs, args.path)
+        colocated = sum(
+            1 for d in split_dirs if fs.split_dir_colocated(d)
+        )
+        fraction = colocated / len(split_dirs) if split_dirs else 1.0
+        recorder.registry.gauge("colocation.split_dirs").set(len(split_dirs))
+        recorder.registry.gauge(
+            "colocation.split_dirs_colocated"
+        ).set(colocated)
+        recorder.registry.gauge(
+            "colocation.split_dir_fraction"
+        ).set(fraction)
+    report = recorder.report()
+    heatmap = DatasetHeatmap.from_registry(args.path, report.registry)
+    accumulated = heatmap.save(fs)  # merge into the .heatmap sidecar
+    layouts = column_layouts(fs, args.path)
+    codecs = {
+        name: args.codec
+        for name, layout in layouts.items() if layout == "cblock"
+    }
+    # Reconciliation is against THIS run's probes; advice looks at the
+    # accumulated sidecar picture (identical on a fresh filesystem).
+    problems = reconcile(heatmap, report, scan_only=True, check_lazy=True)
+    recommendations = advise(
+        accumulated, layouts=layouts, codecs=codecs,
+        colocated_fraction=fraction,
+    )
+    status = _emit_explain(
+        args, out, pal, accumulated, layouts, problems, recommendations
+    )
+    if args.trace_out:
+        try:
+            report.write_jsonl(args.trace_out, gzipped=args.gzip or None)
+        except OSError as exc:
+            out(f"error: cannot write flight recording: {exc}")
+            return 1
+        out(f"wrote flight recording to {args.trace_out}")
+    return status
 
 
 def _run_perf(args, out: Callable[[str], None]) -> int:
@@ -567,7 +1080,11 @@ def _run_perf(args, out: Callable[[str], None]) -> int:
         out(path.render(top=args.top))
         return 0
     if args.perf_command == "timeline":
-        out(analysis.render_timeline(report, width=args.width))
+        from repro.util.term import palette
+
+        out(analysis.render_timeline(
+            report, width=args.width, pal=palette(args.no_color)
+        ))
         return 0
     if args.perf_command == "breakdown":
         out(analysis.render_breakdown(report))
@@ -612,7 +1129,9 @@ def _run_bench(args, out: Callable[[str], None]) -> int:
         except OSError as exc:
             out(f"error: {exc}")
             return 1
-        out(report.render())
+        from repro.util.term import palette
+
+        out(report.render(pal=palette(args.no_color), quiet=args.quiet))
         return 0 if report.ok else 1
     return 2
 
@@ -762,7 +1281,15 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         return _run_bench(args, out)
     if args.command == "check":
         return _run_check(args, out)
+    if args.command == "export":
+        return _run_export(args, out)
+    if args.command == "top":
+        return _run_top(args, out)
+    if args.command == "explain":
+        return _run_explain(args, out)
     if args.command == "report" and args.trace is not None:
+        from repro.util.term import palette
+
         report = _load_trace(args.trace, out)
         if report is None:
             return 1
@@ -771,7 +1298,9 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
 
             rendered = json.dumps(report.summary(), indent=2, sort_keys=True)
         else:
-            rendered = report.render()
+            # Color goes to the terminal, never into --out files.
+            pal = palette(args.no_color or bool(args.out))
+            rendered = report.render(pal=pal, quiet=args.quiet)
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(rendered + "\n")
@@ -844,7 +1373,9 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
                 out("")
         if recorder is not None:
             try:
-                recorder.report().write_jsonl(args.trace_out)
+                recorder.report().write_jsonl(
+                    args.trace_out, gzipped=args.gzip or None
+                )
             except OSError as exc:
                 out(f"error: cannot write flight recording: {exc}")
                 return 1

@@ -124,7 +124,10 @@ class CIFRecordReader(RecordReader):
                 bandwidth_scale=scale,
                 probe=obs.stream_probe(file=path, column=name, format="cif"),
             )
-            reader = open_column_reader(stream, field.schema, ctx)
+            reader = open_column_reader(
+                stream, field.schema, ctx,
+                labels={"file": path, "column": name},
+            )
             self._readers[name] = reader
             counts.add(reader.count)
         if len(counts) > 1:
@@ -141,7 +144,11 @@ class CIFRecordReader(RecordReader):
             self._count = 0
         for field in defaulted:
             self._readers[field.name] = DefaultColumnReader(
-                field.schema, self._count, ctx, field.default
+                field.schema, self._count, ctx, field.default,
+                labels={
+                    "file": f"{split_dir}/{field.name}",
+                    "column": field.name,
+                },
             )
         self._cursor = 0
         self._record = (

@@ -254,17 +254,31 @@ class ColumnReader:
     return; :meth:`skip` advances it as cheaply as the layout allows.
     This is the object a LazyRecord keeps its per-column ``lastPos``
     in (Section 5.1).
+
+    ``labels`` (typically ``file=...``, ``column=...``) tag the
+    per-reader access counters — ``column.rows.read`` and
+    ``column.rows.skipped`` — so the storage heatmap can attribute
+    row touches to a specific split/column.
     """
 
     def __init__(
-        self, reader, field_schema: Schema, count: int, ctx: TaskContext
+        self, reader, field_schema: Schema, count: int, ctx: TaskContext,
+        labels: Optional[dict] = None,
     ) -> None:
         self.reader = reader
         self.field_schema = field_schema
         self.count = count
         self.ctx = ctx
+        self.labels = dict(labels or {})
         self.next_index = 0
         self._decoder = BinaryDecoder(reader, ctx.cost, ctx.metrics)
+        registry = ctx.obs.registry
+        self._obs_rows_read = registry.counter(
+            "column.rows.read", **self.labels
+        )
+        self._obs_rows_skipped = registry.counter(
+            "column.rows.skipped", **self.labels
+        )
 
     def sync_to(self, index: int) -> None:
         """Position so the next read returns the value at ``index``."""
@@ -286,12 +300,20 @@ class ColumnReader:
         raise NotImplementedError
 
     def _check_bounds(self, n: int) -> None:
+        """Validate a skip of ``n`` rows and account it to the heatmap.
+
+        Every layout's ``skip`` calls this exactly once with the full
+        row count before advancing, so it doubles as the single
+        ``column.rows.skipped`` attribution point.
+        """
         if n < 0:
             raise ValueError("cannot skip backwards")
         if self.next_index + n > self.count:
             raise EOFError(
                 f"skip to {self.next_index + n} past column end {self.count}"
             )
+        if n:
+            self._obs_rows_skipped.inc(n)
 
 
 class PlainColumnReader(ColumnReader):
@@ -308,6 +330,7 @@ class PlainColumnReader(ColumnReader):
             raise EOFError("read past column end")
         value = self._decoder.read_datum(self.field_schema)
         self.next_index += 1
+        self._obs_rows_read.inc()
         return value
 
 
@@ -316,16 +339,22 @@ class SkipListColumnReader(ColumnReader):
 
     has_dictionaries = False
 
-    def __init__(self, reader, field_schema, count, ctx, sizes) -> None:
-        super().__init__(reader, field_schema, count, ctx)
+    def __init__(
+        self, reader, field_schema, count, ctx, sizes, labels=None
+    ) -> None:
+        super().__init__(reader, field_schema, count, ctx, labels=labels)
         self.sizes = tuple(sizes)
         self.dictionary: Optional[KeyDictionary] = None
         registry = ctx.obs.registry
-        self._obs_jumps = registry.counter("column.skiplist.jumps")
-        self._obs_jumped_records = registry.counter(
-            "column.skiplist.jumped_records"
+        self._obs_jumps = registry.counter(
+            "column.skiplist.jumps", **self.labels
         )
-        self._obs_jumped_bytes = registry.counter("column.skiplist.jumped_bytes")
+        self._obs_jumped_records = registry.counter(
+            "column.skiplist.jumped_records", **self.labels
+        )
+        self._obs_jumped_bytes = registry.counter(
+            "column.skiplist.jumped_bytes", **self.labels
+        )
 
     def _consume_block_header(self, level: int) -> Tuple[int, int]:
         """Read ``count, nbytes`` (charging their bytes as raw scan)."""
@@ -376,6 +405,7 @@ class SkipListColumnReader(ColumnReader):
                 self._consume_dictionary()
         value = self._decode_one_value()
         self.next_index += 1
+        self._obs_rows_read.inc()
         return value
 
     # Hook points so DCSL can change the value encoding only.
@@ -422,15 +452,30 @@ class DcslColumnReader(SkipListColumnReader):
 class CBlockColumnReader(ColumnReader):
     """Compressed blocks with lazy (all-or-nothing) decompression."""
 
-    def __init__(self, reader, field_schema, count, ctx, codec_name) -> None:
-        super().__init__(reader, field_schema, count, ctx)
+    def __init__(
+        self, reader, field_schema, count, ctx, codec_name, labels=None
+    ) -> None:
+        super().__init__(reader, field_schema, count, ctx, labels=labels)
+        self.codec_name = codec_name
         self._codec = get_codec(codec_name)
         self._block_values: List[bytes] = []
         self._block_reader: Optional[ByteReader] = None
         self._block_decoder: Optional[BinaryDecoder] = None
         self._block_remaining = 0  # values left in the open block
-        self._obs_blocks_skipped = ctx.obs.registry.counter(
-            "column.cblock.blocks_skipped_compressed"
+        registry = ctx.obs.registry
+        self._obs_blocks_skipped = registry.counter(
+            "column.cblock.blocks_skipped_compressed", **self.labels
+        )
+        # Decompression-amplification probes: compressed bytes read vs
+        # raw bytes inflated (touching one value inflates the block).
+        self._obs_bytes_compressed = registry.counter(
+            "column.cblock.bytes.compressed", **self.labels
+        )
+        self._obs_bytes_inflated = registry.counter(
+            "column.cblock.bytes.inflated", **self.labels
+        )
+        self._obs_bytes_skipped = registry.counter(
+            "column.cblock.bytes.skipped_compressed", **self.labels
         )
 
     def _block_header(self) -> Tuple[int, int, int]:
@@ -447,6 +492,8 @@ class CBlockColumnReader(ColumnReader):
         compressed = self.reader.read_bytes(comp_len)
         ctx.cost.charge_raw_scan(ctx.metrics, comp_len)
         ctx.cost.charge_block_inflate_setup(ctx.metrics)
+        self._obs_bytes_compressed.inc(comp_len)
+        self._obs_bytes_inflated.inc(raw_len)
         raw = self._codec.decompress(
             compressed, ctx.cost, ctx.metrics, registry=ctx.obs.registry
         )
@@ -460,18 +507,21 @@ class CBlockColumnReader(ColumnReader):
         self._check_bounds(n)
         while n > 0:
             if self._block_remaining == 0:
-                block_count, _, comp_len = self._block_header()
+                block_count, raw_len, comp_len = self._block_header()
                 if n >= block_count:
                     # Whole block unused: skip it compressed.
                     self.reader.skip(comp_len)
                     self.next_index += block_count
                     n -= block_count
                     self._obs_blocks_skipped.inc()
+                    self._obs_bytes_skipped.inc(comp_len)
                     continue
                 # Someone needs a value inside: inflate the whole block.
                 compressed = self.reader.read_bytes(comp_len)
                 self.ctx.cost.charge_raw_scan(self.ctx.metrics, comp_len)
                 self.ctx.cost.charge_block_inflate_setup(self.ctx.metrics)
+                self._obs_bytes_compressed.inc(comp_len)
+                self._obs_bytes_inflated.inc(raw_len)
                 raw = self._codec.decompress(
                     compressed, self.ctx.cost, self.ctx.metrics,
                     registry=self.ctx.obs.registry,
@@ -496,6 +546,7 @@ class CBlockColumnReader(ColumnReader):
         value = self._block_decoder.read_datum(self.field_schema)
         self._block_remaining -= 1
         self.next_index += 1
+        self._obs_rows_read.inc()
         return value
 
 
@@ -508,9 +559,11 @@ class DefaultColumnReader(ColumnReader):
     copied so callers cannot alias a shared value).
     """
 
-    def __init__(self, field_schema: Schema, count: int, ctx, default) -> None:
+    def __init__(
+        self, field_schema: Schema, count: int, ctx, default, labels=None
+    ) -> None:
         super().__init__(reader=None, field_schema=field_schema,
-                         count=count, ctx=ctx)
+                         count=count, ctx=ctx, labels=labels)
         self._default = default
         self._decoder = None  # no bytes to decode
 
@@ -522,6 +575,7 @@ class DefaultColumnReader(ColumnReader):
         if self.next_index >= self.count:
             raise EOFError("read past column end")
         self.next_index += 1
+        self._obs_rows_read.inc()
         value = self._default
         if isinstance(value, dict):
             return dict(value)
@@ -533,8 +587,8 @@ class DefaultColumnReader(ColumnReader):
 class RleColumnReader(ColumnReader):
     """Run-length encoded column: one decode per run, O(1) run skips."""
 
-    def __init__(self, reader, field_schema, count, ctx) -> None:
-        super().__init__(reader, field_schema, count, ctx)
+    def __init__(self, reader, field_schema, count, ctx, labels=None) -> None:
+        super().__init__(reader, field_schema, count, ctx, labels=labels)
         self._run_remaining = 0
         self._run_value = None
 
@@ -560,6 +614,7 @@ class RleColumnReader(ColumnReader):
             self.ctx.metrics.cells += 1
         self._run_remaining -= 1
         self.next_index += 1
+        self._obs_rows_read.inc()
         return self._run_value
 
     def skip(self, n: int) -> None:
@@ -591,8 +646,8 @@ class RleColumnReader(ColumnReader):
 class DeltaColumnReader(ColumnReader):
     """Delta-encoded integer column; values reconstruct cumulatively."""
 
-    def __init__(self, reader, field_schema, count, ctx) -> None:
-        super().__init__(reader, field_schema, count, ctx)
+    def __init__(self, reader, field_schema, count, ctx, labels=None) -> None:
+        super().__init__(reader, field_schema, count, ctx, labels=labels)
         self._current = 0
 
     def read_value(self):
@@ -604,6 +659,7 @@ class DeltaColumnReader(ColumnReader):
         cost.charge_int(metrics)
         cost.charge_raw_scan(metrics, self.reader.offset - before)
         self.next_index += 1
+        self._obs_rows_read.inc()
         return self._current
 
     def skip(self, n: int) -> None:
@@ -620,9 +676,15 @@ class DeltaColumnReader(ColumnReader):
 
 
 def open_column_reader(
-    stream, field_schema: Schema, ctx: TaskContext
+    stream, field_schema: Schema, ctx: TaskContext,
+    labels: Optional[dict] = None,
 ) -> ColumnReader:
-    """Parse a column file header off ``stream`` and build its reader."""
+    """Parse a column file header off ``stream`` and build its reader.
+
+    ``labels`` tag the reader's access counters (see
+    :class:`ColumnReader`); CIF passes ``file``/``column`` so the
+    storage heatmap can attribute rows to a split directory.
+    """
     from repro.hdfs.streams import StreamByteReader
 
     reader = StreamByteReader(stream)
@@ -632,17 +694,20 @@ def open_column_reader(
     fmt = reader.read_byte()
     count = reader.read_varint()
     if fmt == FORMAT_PLAIN:
-        return PlainColumnReader(reader, field_schema, count, ctx)
+        return PlainColumnReader(reader, field_schema, count, ctx,
+                                 labels=labels)
     if fmt in (FORMAT_SKIPLIST, FORMAT_DCSL):
         levels = reader.read_varint()
         sizes = tuple(reader.read_varint() for _ in range(levels))
         cls = DcslColumnReader if fmt == FORMAT_DCSL else SkipListColumnReader
-        return cls(reader, field_schema, count, ctx, sizes)
+        return cls(reader, field_schema, count, ctx, sizes, labels=labels)
     if fmt == FORMAT_CBLOCK:
         codec_name = reader.read_string()
-        return CBlockColumnReader(reader, field_schema, count, ctx, codec_name)
+        return CBlockColumnReader(reader, field_schema, count, ctx, codec_name,
+                                  labels=labels)
     if fmt == FORMAT_RLE:
-        return RleColumnReader(reader, field_schema, count, ctx)
+        return RleColumnReader(reader, field_schema, count, ctx, labels=labels)
     if fmt == FORMAT_DELTA:
-        return DeltaColumnReader(reader, field_schema, count, ctx)
+        return DeltaColumnReader(reader, field_schema, count, ctx,
+                                 labels=labels)
     raise ValueError(f"unknown column format byte {fmt}")

@@ -44,15 +44,26 @@ class LazyRecord:
         self._cache: Dict[str, object] = {}
         registry = (obs if obs is not None else NULL_OBS).registry
         self._obs_records = registry.counter("lazy.records")
-        self._obs_materialized = registry.counter("lazy.cells.materialized")
-        self._obs_skipped = registry.counter("lazy.cells.skipped")
+        # Per-column cells: labeled so the heatmap can show which
+        # projected columns a map function actually touches.  Aggregate
+        # queries (value_of with no labels) still sum across columns.
+        self._obs_materialized = {
+            name: registry.counter("lazy.cells.materialized", column=name)
+            for name in readers
+        }
+        self._obs_skipped = {
+            name: registry.counter("lazy.cells.skipped", column=name)
+            for name in readers
+        }
 
     def _advance(self, row: int) -> None:
         """Move to record ``row`` (called by the record reader)."""
         if self._row >= 0:
             # Settle the previous record's books: projected columns the
             # map function never touched were skipped, not deserialized.
-            self._obs_skipped.inc(len(self._readers) - len(self._cache))
+            for name in self._readers:
+                if name not in self._cache:
+                    self._obs_skipped[name].inc()
         self._obs_records.inc()
         self._row = row
         self._cache.clear()
@@ -66,11 +77,14 @@ class LazyRecord:
             raise SchemaError(
                 f"column {name!r} is not in this reader's projection"
             )
-        self._obs_materialized.inc()
         # lastPos (reader.next_index) catches up to curPos (self._row):
         # the records in between are skipped, not deserialized.
         reader.sync_to(self._row)
         value = reader.read_value()
+        # Counted only after the read succeeds, so a fault mid-read
+        # cannot desynchronize this from column.rows.read — the exact
+        # reconciliation `repro explain` performs depends on it.
+        self._obs_materialized[name].inc()
         self._cache[name] = value
         return value
 

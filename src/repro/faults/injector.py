@@ -105,6 +105,10 @@ class FaultInjector:
             "fault", kind="fault", sim_start=self._sim_now, sim_duration=0.0,
             fault=event.kind, **(detail or {}),
         )
+        self.obs.emit(
+            "fault.injected", sim_time=self._sim_now,
+            fault=event.kind, **(detail or {}),
+        )
 
     def _resolve_node(self, event: FaultEvent, exclude=()) -> Optional[int]:
         if isinstance(event.node, int):

@@ -317,7 +317,12 @@ class FileSystem:
                 continue
             local = reader_node is None or node == reader_node
             if wanted_local and not local:
-                current_obs().registry.counter("replica.failover").inc()
+                obs = current_obs()
+                obs.registry.counter("replica.failover").inc()
+                obs.emit(
+                    "replica.failover", block=bid,
+                    reader=reader_node, served_by=node,
+                )
             return self.blockstore.get(bid), local
         raise BlockMissingError(
             f"block {bid}: no live, uncorrupted replica remains"
@@ -333,9 +338,13 @@ class FileSystem:
         """
         if not self.namenode.invalidate_replica(block, node):
             return
-        current_obs().registry.counter(
+        obs = current_obs()
+        obs.registry.counter(
             "replica.corrupt_detected", node=node
         ).inc()
+        obs.emit(
+            "replica.corrupt_detected", block=block.block_id, node=node
+        )
         has_good_copy = any(
             n not in self._dead_nodes
             and self.blockstore.replica_ok(block.block_id, n)

@@ -124,7 +124,16 @@ class JobRunner:
     def run(self, job: Job) -> JobResult:
         obs = self.obs
         with obs.tracer.span("job", kind="job", job=job.name) as job_span:
+            obs.emit("job.start", job=job.name)
             result = self._run_traced(job, obs)
+            obs.emit(
+                "job.finish",
+                sim_time=result.total_time,
+                job=job.name,
+                total_time=result.total_time,
+                attempts=result.attempts,
+                failed_tasks=result.failed_tasks,
+            )
         job_span.set("total_time", result.total_time)
         obs.record_metrics(f"job:{job.name}:map", result.map_metrics)
         obs.record_metrics(f"job:{job.name}:reduce", result.reduce_metrics)
@@ -164,6 +173,10 @@ class JobRunner:
 
         input_fmt = type(job.input_format).__name__
         with obs.tracer.span("map_phase", kind="phase", splits=len(splits)):
+            obs.emit(
+                "phase.start", sim_time=0.0, phase="map",
+                job=job.name, splits=len(splits),
+            )
             tasks = schedule_map_tasks(
                 splits,
                 cluster.num_nodes,
@@ -202,6 +215,10 @@ class JobRunner:
                     seeks=task.metrics.seeks,
                     records=task.metrics.records,
                 )
+            obs.emit(
+                "phase.finish", sim_time=makespan(tasks), phase="map",
+                job=job.name, makespan=makespan(tasks), tasks=len(tasks),
+            )
         # attempt_payloads is appended in execution order, which matches
         # the task list.  Only surviving attempts — not killed in a
         # speculative race, not failed by a fault — contribute output
@@ -263,12 +280,20 @@ class JobRunner:
                 "reduce_phase", kind="phase", reducers=job.num_reducers,
                 metrics=reduce_metrics,
             ):
+                obs.emit(
+                    "phase.start", sim_time=map_makespan, phase="reduce",
+                    job=job.name, reducers=job.num_reducers,
+                )
                 for r in range(job.num_reducers):
                     ctx = TaskContext(
                         node=None,
                         cost=job.cost,
                         io_buffer_size=cluster.io_buffer_size,
                         obs=obs,
+                    )
+                    obs.emit(
+                        "task.start", sim_time=map_makespan,
+                        kind="reduce", partition=r,
                     )
                     self._run_reduce_task(
                         job, r, map_outputs, output_format, ctx
@@ -291,9 +316,20 @@ class JobRunner:
                         records=ctx.metrics.records,
                         net_bytes=ctx.metrics.net_bytes,
                     )
-            reduce_makespan = simulate_wave_makespan(
-                durations, cluster.total_reduce_slots
-            )
+                    obs.emit(
+                        "task.finish", sim_time=ctx.metrics.task_time,
+                        kind="reduce", partition=r, outcome="ok",
+                        duration=ctx.metrics.task_time,
+                    )
+                reduce_makespan = simulate_wave_makespan(
+                    durations, cluster.total_reduce_slots
+                )
+                obs.emit(
+                    "phase.finish",
+                    sim_time=map_makespan + reduce_makespan,
+                    phase="reduce", job=job.name,
+                    makespan=reduce_makespan,
+                )
             counters.increment("reduce.tasks", job.num_reducers)
 
         total_time = (

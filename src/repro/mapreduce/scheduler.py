@@ -153,6 +153,7 @@ class _MapScheduler:
         """A datanode died at ``now``: drop its slots and fail every
         attempt still running on it (their work so far is wasted)."""
         self._remove_slots(node)
+        self.obs.emit("node.lost", sim_time=now, node=node)
         for task in self.tasks:
             if (
                 task.node == node
@@ -210,6 +211,10 @@ class _MapScheduler:
             self.obs.registry.counter(
                 "scheduler.blacklisted", node=node
             ).inc()
+            self.obs.emit(
+                "node.blacklisted", node=node,
+                failures=self.node_failures[node],
+            )
             self._remove_slots(node)
             return True
         return False
@@ -334,9 +339,15 @@ class _MapScheduler:
                 return
         split = self.splits[p.index]
         self.attempts_used[p.index] += 1
+        placement = "local" if local else "remote"
         self.obs.registry.counter(
-            "scheduler.assignments", placement="local" if local else "remote"
+            "scheduler.assignments", placement=placement
         ).inc()
+        self.obs.emit(
+            "task.start", sim_time=now, kind="map",
+            split=split.label, node=node, slot=slot,
+            attempt=p.attempt, placement=placement,
+        )
         try:
             metrics = self.execute(split, node)
         except FaultError as exc:
@@ -351,6 +362,12 @@ class _MapScheduler:
             self.obs.registry.counter(
                 "task.attempts", outcome="failed"
             ).inc()
+            self.obs.emit(
+                "task.finish", sim_time=now + duration, kind="map",
+                split=split.label, node=node, slot=slot,
+                attempt=p.attempt, outcome="failed", error=error,
+                duration=duration,
+            )
             self.history.append({
                 "split": split.label,
                 "node": node,
@@ -370,6 +387,11 @@ class _MapScheduler:
             attempt=p.attempt, split_index=p.index, slot=slot,
         ))
         self.obs.registry.counter("task.attempts", outcome="ok").inc()
+        self.obs.emit(
+            "task.finish", sim_time=now + duration, kind="map",
+            split=split.label, node=node, slot=slot,
+            attempt=p.attempt, outcome="ok", duration=duration,
+        )
         heapq.heappush(self.slots, (now + duration, node, slot))
 
 
@@ -456,6 +478,10 @@ def _speculate(
             continue  # this slot has nothing useful to speculate on
         victim = max(candidates, key=lambda t: t.end)
         speculated.add(id(victim.split))
+        obs.emit(
+            "task.speculative", sim_time=now, split=victim.split.label,
+            node=node, slot=slot, victim_node=victim.node,
+        )
         try:
             metrics = execute(victim.split, node)
         except FaultError as exc:

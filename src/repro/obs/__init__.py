@@ -37,6 +37,13 @@ from repro.obs.registry import (
     NULL_REGISTRY,
 )
 from repro.obs.trace import NullTracer, Span, Tracer, NULL_TRACER
+from repro.obs.events import (
+    Event,
+    EventBus,
+    JsonlEventSink,
+    NullEventBus,
+    NULL_BUS,
+)
 from repro.obs.recorder import (
     FlightRecorder,
     NULL_OBS,
@@ -45,6 +52,16 @@ from repro.obs.recorder import (
     RunReport,
     StreamProbe,
 )
+from repro.obs.export import (
+    chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.heatmap import CellStats, DatasetHeatmap, load_sidecar, reconcile
+from repro.obs.advisor import Recommendation, advise, column_layouts, infer_layouts
+from repro.obs.live import LiveMonitor
 from repro.obs.analysis import (
     CriticalPath,
     RunDiff,
@@ -86,6 +103,11 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_TRACER",
+    "Event",
+    "EventBus",
+    "JsonlEventSink",
+    "NullEventBus",
+    "NULL_BUS",
     "FlightRecorder",
     "NULL_OBS",
     "NULL_STREAM_PROBE",
@@ -93,6 +115,20 @@ __all__ = [
     "RunReport",
     "StreamProbe",
     "current_obs",
+    "chrome_trace",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "CellStats",
+    "DatasetHeatmap",
+    "load_sidecar",
+    "reconcile",
+    "Recommendation",
+    "advise",
+    "column_layouts",
+    "infer_layouts",
+    "LiveMonitor",
     "CriticalPath",
     "RunDiff",
     "SpanNode",

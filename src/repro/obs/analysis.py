@@ -358,13 +358,18 @@ def timeline(report) -> List[Lane]:
     return out
 
 
-def render_timeline(report, width: int = 64) -> str:
+def render_timeline(report, width: int = 64, pal=None) -> str:
     """ASCII Gantt chart of task attempts on the simulated clock.
 
     Normal attempts alternate ``#``/``=`` so adjacent tasks on one slot
     stay distinguishable; failed attempts draw ``x``, speculative
     duplicates ``s``, and attempts killed by a speculative race ``k``.
+    ``pal`` (a :class:`repro.util.term.Palette`) colors failures red and
+    speculation yellow; the default PLAIN palette changes nothing.
     """
+    from repro.util.term import PLAIN
+
+    pal = pal if pal is not None else PLAIN
     lanes = timeline(report)
     if not lanes:
         return (
@@ -395,7 +400,13 @@ def render_timeline(report, width: int = 64) -> str:
             hi = int(task.sim_end / t_max * (width - 1))
             for i in range(lo, max(hi, lo + 1)):
                 row[i] = char
-        lines.append(f"  {lane.key.ljust(label_width)} |{''.join(row)}|")
+        cells = "".join(
+            pal.red(c) if c == "x"
+            else pal.yellow(c) if c in ("s", "k")
+            else c
+            for c in row
+        )
+        lines.append(f"  {lane.key.ljust(label_width)} |{cells}|")
     lines.append(
         "  legend: #/= attempts, x failed, s speculative, k killed, . idle"
     )

@@ -24,14 +24,23 @@ JSONL schema (see ``docs/observability.md``):
   "sum", "count"}``
 - ``{"type": "metrics", "label", <Metrics fields>}``
 - ``{"type": "counters", "label", "values"}``
+- ``{"type": "event", "seq", "kind", "wall", ["sim", "span", "attrs"]}``
+  — one per event-bus emission, in emission order
+
+Artifacts are written one flushed line at a time (and may be gzipped:
+``run.jsonl.gz``); a run that crashes mid-write leaves a readable
+prefix, and :meth:`RunReport.from_jsonl` tolerates the torn final line
+with a warning instead of raising.
 """
 
 from __future__ import annotations
 
+import gzip as _gzip
 import json
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.events import NULL_BUS, EventBus
 from repro.obs.registry import (
     NULL_REGISTRY,
     MetricRegistry,
@@ -107,15 +116,20 @@ NULL_STREAM_PROBE = NullStreamProbe()
 
 
 class Observability:
-    """What instrumented code holds: a tracer plus a registry."""
+    """What instrumented code holds: tracer, registry and event bus."""
 
-    __slots__ = ("tracer", "registry", "enabled")
+    __slots__ = ("tracer", "registry", "bus", "enabled")
 
     def __init__(
-        self, tracer: Tracer, registry: MetricRegistry, enabled: bool = True
+        self,
+        tracer: Tracer,
+        registry: MetricRegistry,
+        enabled: bool = True,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.tracer = tracer
         self.registry = registry
+        self.bus = bus if bus is not None else NULL_BUS
         self.enabled = enabled
 
     def stream_probe(self, **labels) -> StreamProbe:
@@ -123,6 +137,21 @@ class Observability:
         if not self.enabled:
             return NULL_STREAM_PROBE
         return StreamProbe(self.registry, labels)
+
+    def emit(self, kind: str, /, sim_time: Optional[float] = None, **attrs):
+        """Publish a structured event on the bus, correlated with the
+
+        tracer's innermost open span.  A no-op (returning None) until a
+        flight recorder is active.
+        """
+        if not self.enabled:
+            return None
+        return self.bus.emit(
+            kind,
+            sim_time=sim_time,
+            span_id=self.tracer.current_span_id,
+            **attrs,
+        )
 
     # Collection hooks; only the FlightRecorder stores anything.
 
@@ -165,17 +194,24 @@ class FlightRecorder(Observability):
     timestamps included), which the accounting-invariant tests assert.
     """
 
-    __slots__ = ("meta", "metrics_log", "counters_log")
+    __slots__ = ("meta", "metrics_log", "counters_log", "events_log")
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         meta: Optional[dict] = None,
     ) -> None:
-        super().__init__(Tracer(clock=clock), MetricRegistry(), enabled=True)
+        super().__init__(
+            Tracer(clock=clock), MetricRegistry(), enabled=True,
+            bus=EventBus(clock=clock),
+        )
         self.meta = dict(meta or {})
         self.metrics_log: List[Tuple[str, dict]] = []
         self.counters_log: List[Tuple[str, Dict[str, int]]] = []
+        #: every bus event, in emission order (the recorder subscribes
+        #: to its own bus, like any other consumer)
+        self.events_log: List = []
+        self.bus.subscribe(self.events_log.append)
 
     def activate(self) -> _Activation:
         """``with recorder.activate(): ...`` — contexts created inside
@@ -209,6 +245,7 @@ class FlightRecorder(Observability):
                 for label, values in self.counters_log
             ],
             registry=self.registry.snapshot(),
+            events=[event.to_dict() for event in self.events_log],
         )
 
 
@@ -222,12 +259,18 @@ class RunReport:
         metrics: List[dict],
         counters: List[dict],
         registry: List[dict],
+        events: Optional[List[dict]] = None,
+        warnings: Optional[List[str]] = None,
     ) -> None:
         self.meta = meta
         self.spans = spans
         self.metrics = metrics
         self.counters = counters
         self.registry = registry
+        self.events = events if events is not None else []
+        #: loader warnings (e.g. a truncated final line from a crashed
+        #: run); surfaced by ``repro report|perf|explain``
+        self.warnings = warnings if warnings is not None else []
 
     # -- aggregate views ----------------------------------------------
 
@@ -304,8 +347,17 @@ class RunReport:
             "hdfs.bytes.net"
         )
         requested = self.counter_total("hdfs.bytes.requested")
+        events_by_kind: Dict[str, int] = {}
+        for event in self.events:
+            kind = event.get("kind", "?")
+            events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
         return {
             "meta": dict(self.meta),
+            "events": {
+                "count": len(self.events),
+                "by_kind": dict(sorted(events_by_kind.items())),
+            },
+            "warnings": list(self.warnings),
             "spans": {
                 "count": len(self.spans),
                 "by_kind": dict(sorted(by_kind.items())),
@@ -333,23 +385,39 @@ class RunReport:
 
     # -- serialization -------------------------------------------------
 
-    def to_jsonl(self) -> str:
-        lines = [json.dumps({"type": "meta", **self.meta}, sort_keys=True)]
+    def iter_jsonl(self):
+        """Yield the artifact's lines (no trailing newlines), in order."""
+        yield json.dumps({"type": "meta", **self.meta}, sort_keys=True)
         for span in self.spans:
-            lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+            yield json.dumps({"type": "span", **span}, sort_keys=True)
+        for event in self.events:
+            yield json.dumps({"type": "event", **event}, sort_keys=True)
         for entry in self.registry:
-            lines.append(json.dumps({"type": entry["kind"], **{
+            yield json.dumps({"type": entry["kind"], **{
                 k: v for k, v in entry.items() if k != "kind"
-            }}, sort_keys=True))
+            }}, sort_keys=True)
         for snap in self.metrics:
-            lines.append(json.dumps({"type": "metrics", **snap}, sort_keys=True))
+            yield json.dumps({"type": "metrics", **snap}, sort_keys=True)
         for dump in self.counters:
-            lines.append(json.dumps({"type": "counters", **dump}, sort_keys=True))
-        return "\n".join(lines) + "\n"
+            yield json.dumps({"type": "counters", **dump}, sort_keys=True)
 
-    def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl())
+    def to_jsonl(self) -> str:
+        return "\n".join(self.iter_jsonl()) + "\n"
+
+    def write_jsonl(self, path: str, gzipped: Optional[bool] = None) -> None:
+        """Write the artifact, one flushed line per record.
+
+        Flushing per line means a crash mid-write loses at most the
+        line in flight — readers tolerate that torn tail.  ``gzipped``
+        forces gzip framing; by default a ``.gz`` suffix decides.
+        """
+        if gzipped is None:
+            gzipped = path.endswith(".gz")
+        opener = _gzip.open if gzipped else open
+        with opener(path, "wt", encoding="utf-8") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line + "\n")
+                handle.flush()
 
     @classmethod
     def from_jsonl(cls, text: str) -> "RunReport":
@@ -358,21 +426,44 @@ class RunReport:
         metrics: List[dict] = []
         counters: List[dict] = []
         registry: List[dict] = []
-        for lineno, line in enumerate(text.splitlines(), 1):
+        events: List[dict] = []
+        warnings: List[str] = []
+        lines = text.splitlines()
+        last_payload = next(
+            (i for i in range(len(lines) - 1, -1, -1) if lines[i].strip()),
+            None,
+        )
+        parsed = 0
+        for lineno, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
-                kind = record.pop("type")
-            except (ValueError, KeyError) as exc:
+            except ValueError as exc:
+                if parsed and lineno - 1 == last_payload:
+                    # A crashed run tore its final line mid-write; the
+                    # prefix is still a valid recording.
+                    warnings.append(
+                        f"truncated final line (line {lineno}) dropped: {exc}"
+                    )
+                    break
                 raise ValueError(
                     f"line {lineno} is not a flight-recorder record: {exc}"
                 ) from exc
+            try:
+                kind = record.pop("type")
+            except (KeyError, TypeError, AttributeError) as exc:
+                raise ValueError(
+                    f"line {lineno} is not a flight-recorder record: {exc}"
+                ) from exc
+            parsed += 1
             if kind == "meta":
                 meta = record
             elif kind == "span":
                 spans.append(record)
+            elif kind == "event":
+                events.append(record)
             elif kind in ("counter", "gauge", "histogram"):
                 registry.append({"kind": kind, **record})
             elif kind == "metrics":
@@ -381,29 +472,65 @@ class RunReport:
                 counters.append(record)
             else:
                 raise ValueError(f"line {lineno}: unknown record type {kind!r}")
-        return cls(meta, spans, metrics, counters, registry)
+        return cls(
+            meta, spans, metrics, counters, registry,
+            events=events, warnings=warnings,
+        )
 
     @classmethod
     def load(cls, path: str) -> "RunReport":
-        with open(path) as handle:
+        """Load an artifact, accepting gzip framing transparently.
+
+        Detection is by content (the two gzip magic bytes), not by file
+        name, so ``run.jsonl.gz`` and a gzipped ``run.jsonl`` both load.
+        """
+        with open(path, "rb") as handle:
+            head = handle.read(2)
+        if head == b"\x1f\x8b":
+            with _gzip.open(path, "rt", encoding="utf-8") as handle:
+                return cls.from_jsonl(handle.read())
+        with open(path, encoding="utf-8") as handle:
             return cls.from_jsonl(handle.read())
 
     # -- rendering -----------------------------------------------------
 
-    def render(self, top: int = 12, width: int = 48) -> str:
+    def render(
+        self,
+        top: int = 12,
+        width: int = 48,
+        pal=None,
+        quiet: bool = False,
+    ) -> str:
         """ASCII flight-recorder readout: top spans, per-column bytes,
 
         recorded metrics and counters.  Uses the same terminal plotting
-        helpers as the figure experiments.
+        helpers as the figure experiments.  ``pal`` is an optional
+        :class:`repro.util.term.Palette`; ``quiet`` keeps only the
+        header, warnings and counter sections.
         """
         from repro.bench.ascii_plot import bar_chart
+        from repro.util.term import PLAIN
 
+        pal = pal if pal is not None else PLAIN
         sections: List[str] = []
         if self.meta:
             sections.append(
-                "flight recorder: "
+                pal.bold("flight recorder: ")
                 + ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
             )
+        for warning in self.warnings:
+            sections.append(pal.yellow(f"WARNING: {warning}"))
+        if quiet:
+            if self.counters:
+                lines = ["Job counters"]
+                for dump in self.counters:
+                    lines.append(f"  {dump['label']}:")
+                    for name, value in sorted(dump["values"].items()):
+                        lines.append(f"    {name} = {value:,}")
+                sections.append("\n".join(lines))
+            if not sections:
+                sections.append("(empty flight recording)")
+            return "\n\n".join(sections)
 
         timed = [
             span for span in self.spans
@@ -474,6 +601,16 @@ class RunReport:
                 lines.append(f"  {dump['label']}:")
                 for name, value in sorted(dump["values"].items()):
                     lines.append(f"    {name} = {value:,}")
+            sections.append("\n".join(lines))
+
+        if self.events:
+            by_kind: Dict[str, int] = {}
+            for event in self.events:
+                kind = event.get("kind", "?")
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            lines = [f"Events ({len(self.events)} total)"]
+            for kind in sorted(by_kind):
+                lines.append(f"  {kind} = {by_kind[kind]:,}")
             sections.append("\n".join(lines))
 
         waste = self.counter_total("hdfs.bytes.disk") + self.counter_total(

@@ -125,6 +125,14 @@ class Tracer:
     def _parent(self) -> Optional[int]:
         return self._stack[-1] if self._stack else None
 
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span's id (None outside any span).
+
+        Events emitted on the bus carry this for trace correlation.
+        """
+        return self._stack[-1] if self._stack else None
+
     def span(self, name: str, kind: str = "op", metrics=None, **attrs) -> Span:
         """Open a nested span: ``with tracer.span("scan", fmt="cif"): ...``"""
         span = Span(
