@@ -273,6 +273,26 @@ def _extract_scale_stability(result) -> Dict[str, float]:
     return out
 
 
+def _extract_cluster_load(result) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for policy, report in sorted(result.reports.items()):
+        out[f"time.makespan.{policy}"] = report.makespan
+        out[f"fraction.slots_busy.{policy}"] = report.utilization
+        out[f"count.completed.{policy}"] = len(report.completed)
+        out[f"count.rejected.{policy}"] = len(report.rejected)
+        out[f"count.failed.{policy}"] = len(report.failed)
+        out[f"count.preemptions.{policy}"] = report.preemptions
+        for tenant, summary in report.tenant_summaries().items():
+            base = f"time.latency.{policy}.{_slug(tenant)}"
+            out[f"{base}.p50"] = summary.p50
+            out[f"{base}.p95"] = summary.p95
+            out[f"{base}.p99"] = summary.p99
+    out["ratio.fifo_over_fair_interactive_p95"] = (
+        result.interactive_p95_ratio
+    )
+    return out
+
+
 def _lazy(module: str):
     """Defer the scenario import so ``repro bench --help`` stays fast."""
 
@@ -350,6 +370,11 @@ _register(
     "scale_stability", _run_scale_stability, {"small": 1000, "large": 4000},
     _extract_scale_stability,
     "fig7 headline ratios measured at two sizes 4x apart",
+)
+_register(
+    "cluster_load", "cluster_load", {"duration": 1.0, "seed": 20110401},
+    _extract_cluster_load,
+    "multi-tenant traffic: fair-share+preemption vs FIFO job latency",
 )
 
 

@@ -576,6 +576,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit only the final summary frame",
     )
 
+    cluster = subcommands.add_parser(
+        "cluster",
+        help=(
+            "multi-tenant load testing: run seeded open-loop traffic "
+            "(Poisson arrivals of crawl/analytics/point-query jobs) "
+            "through the fair-share/FIFO resource manager and report "
+            "per-tenant latency percentiles and slot utilization"
+        ),
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    crun_cluster = cluster_sub.add_parser(
+        "run",
+        help=(
+            "run a traffic profile (JSON; default: the canonical "
+            "3-tenant mixed workload) and print the latency report"
+        ),
+    )
+    crun_cluster.add_argument(
+        "profile", nargs="?", default=None,
+        help=(
+            "traffic-profile JSON (see docs/cluster.md; default: the "
+            "built-in 3-tenant sample)"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--policy", choices=["fair", "fifo"], default=None,
+        help="override the profile's scheduling policy",
+    )
+    crun_cluster.add_argument(
+        "--compare", action="store_true",
+        help=(
+            "run the same trace under both fair and fifo and print the "
+            "per-tenant p95 ratios"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--json", action="store_true",
+        help="emit the structured report as JSON instead of the table",
+    )
+    crun_cluster.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="run the load under this fault plan (node kills mid-load)",
+    )
+    crun_cluster.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help=(
+            "record the run's event stream + metrics as a flight-"
+            "recorder JSONL artifact (replayable with repro top)"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--gzip", action="store_true",
+        help="gzip the --trace-out artifact (a .gz suffix implies this)",
+    )
+    cprofile = cluster_sub.add_parser(
+        "sample-profile",
+        help="print the canonical 3-tenant traffic profile as JSON",
+    )
+    cprofile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write to a file instead of stdout",
+    )
+
     explain = subcommands.add_parser(
         "explain",
         help=(
@@ -866,6 +929,93 @@ def _run_top(args, out: Callable[[str], None]) -> int:
             return 1
         out(f"wrote flight recording to {args.trace_out}")
     return 0
+
+
+def _run_cluster(args, out: Callable[[str], None]) -> int:
+    """``repro cluster``: seeded multi-tenant load testing."""
+    import json as _json
+
+    from repro.cluster import TrafficProfile, run_traffic, sample_profile
+
+    if args.cluster_command == "sample-profile":
+        payload = _json.dumps(
+            sample_profile().to_dict(), indent=2, sort_keys=True
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            out(f"wrote {args.out}")
+        else:
+            out(payload)
+        return 0
+
+    if args.profile:
+        try:
+            profile = TrafficProfile.load(args.profile)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            out(f"error: cannot load traffic profile {args.profile}: {exc}")
+            return 1
+    else:
+        profile = sample_profile()
+    plan, ok = _load_plan(args.faults, out)
+    if not ok:
+        return 1
+
+    if args.compare:
+        # The identical arrival trace under both policies; faults are
+        # re-instantiated per run so each sees the full plan.
+        reports = {}
+        for policy in ("fifo", "fair"):
+            reports[policy] = run_traffic(profile, policy=policy, faults=plan)
+        if args.json:
+            out(_json.dumps(
+                {name: r.to_dict() for name, r in reports.items()},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for name in ("fifo", "fair"):
+                out(reports[name].render())
+                out("")
+            out("fair p95 / fifo p95 (same trace):")
+            fifo_summaries = reports["fifo"].tenant_summaries()
+            for tenant, fair_summary in (
+                reports["fair"].tenant_summaries().items()
+            ):
+                fifo_p95 = fifo_summaries[tenant].p95
+                ratio = (
+                    f"{fair_summary.p95 / fifo_p95:.3f}"
+                    if fifo_p95 else "n/a"
+                )
+                out(f"  {tenant:<12} {ratio}")
+        return 0 if not any(r.failed for r in reports.values()) else 1
+
+    recorder = None
+    if args.trace_out:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(meta={
+            "command": "cluster",
+            "policy": args.policy or profile.policy,
+            "seed": profile.seed,
+        })
+    with contextlib.ExitStack() as stack:
+        if recorder is not None:
+            stack.enter_context(recorder.activate())
+        report = run_traffic(profile, policy=args.policy, faults=plan)
+    if args.json:
+        out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(report.render())
+    if recorder is not None:
+        try:
+            recorder.report().write_jsonl(
+                args.trace_out, gzipped=args.gzip or None
+            )
+        except OSError as exc:
+            out(f"error: cannot write flight recording: {exc}")
+            return 1
+        out(f"wrote flight recording to {args.trace_out}")
+    return 0 if not report.failed else 1
 
 
 def _explain_scan(fs, input_format, touch_columns) -> None:
@@ -1285,6 +1435,8 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         return _run_export(args, out)
     if args.command == "top":
         return _run_top(args, out)
+    if args.command == "cluster":
+        return _run_cluster(args, out)
     if args.command == "explain":
         return _run_explain(args, out)
     if args.command == "report" and args.trace is not None:

@@ -1,0 +1,58 @@
+"""Multi-tenant job management over the simulated cluster.
+
+The single-job story (:func:`repro.mapreduce.runner.run_job`) gives one
+job every slot; this package is the production-shaped layer above it:
+
+- :mod:`repro.cluster.config` — queues with guaranteed capacities,
+  tenants with fair-share weights, admission bounds and slot quotas,
+- :mod:`repro.cluster.manager` — the event-driven resource manager
+  arbitrating one slot pool between concurrent jobs, with admission
+  control, hierarchical fair share, preemption and a FIFO baseline,
+- :mod:`repro.cluster.traffic` — seeded open-loop Poisson traffic of
+  mixed crawl/analytics/point-query jobs,
+- :mod:`repro.cluster.report` — per-tenant p50/p95/p99 job latency and
+  slot-utilization reporting.
+"""
+
+from repro.cluster.config import (
+    ClusterPolicy,
+    QueueConfig,
+    TenantConfig,
+    fifo_variant,
+)
+from repro.cluster.manager import ClusterManager, JobRequest
+from repro.cluster.report import (
+    ClusterReport,
+    JobOutcome,
+    TenantSummary,
+    percentile,
+)
+from repro.cluster.traffic import (
+    TrafficProfile,
+    TrafficTenant,
+    build_filesystem,
+    generate_requests,
+    make_job,
+    run_traffic,
+    sample_profile,
+)
+
+__all__ = [
+    "ClusterManager",
+    "ClusterPolicy",
+    "ClusterReport",
+    "JobOutcome",
+    "JobRequest",
+    "QueueConfig",
+    "TenantConfig",
+    "TenantSummary",
+    "TrafficProfile",
+    "TrafficTenant",
+    "build_filesystem",
+    "fifo_variant",
+    "generate_requests",
+    "make_job",
+    "percentile",
+    "run_traffic",
+    "sample_profile",
+]

@@ -1,0 +1,173 @@
+"""Scheduling policy configuration: queues, tenants, quotas.
+
+Mirrors the shape of Hadoop's capacity/fair schedulers, scaled down to
+what the paper's workloads need: a flat list of named queues, each with
+a guaranteed *capacity* fraction of the cluster's map slots, and a list
+of tenants submitting into those queues.  Queues marked ``preempts``
+may evict running work from ``preemptible`` queues when they are under
+their guaranteed share; tenants carry fair-share ``weight``, a bounded
+admission queue (``max_queued``) and an optional hard slot quota
+(``max_running_slots``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """One scheduling queue.
+
+    ``capacity`` is the queue's guaranteed fraction of live map slots —
+    its preemption floor and its fair-share target.  Capacities should
+    sum to ~1.0 across queues; they are normalized at validation.
+    """
+
+    name: str
+    capacity: float
+    preemptible: bool = False  # running work may be evicted
+    preempts: bool = False     # may evict work when under its share
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "preemptible": self.preemptible,
+            "preempts": self.preempts,
+        }
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant submitting jobs into a queue.
+
+    ``weight`` is the tenant's fair-share weight within its queue.
+    ``max_queued`` bounds jobs admitted but not yet started (admission
+    control: further submissions are rejected, not buffered).
+    ``max_running_slots`` caps the tenant's concurrently-running map
+    attempts (0 = no quota).
+    """
+
+    name: str
+    queue: str
+    weight: float = 1.0
+    max_queued: int = 8
+    max_running_slots: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "queue": self.queue,
+            "weight": self.weight,
+            "max_queued": self.max_queued,
+            "max_running_slots": self.max_running_slots,
+        }
+
+
+@dataclass
+class ClusterPolicy:
+    """Everything the multi-job manager needs to arbitrate slots.
+
+    ``policy`` selects the scheduler: ``"fair"`` (hierarchical
+    queue/tenant fair share with preemption) or ``"fifo"`` (strict
+    arrival order, queues and quotas ignored — Hadoop's default
+    scheduler, the paper-era baseline).
+    """
+
+    queues: List[QueueConfig] = field(default_factory=list)
+    tenants: List[TenantConfig] = field(default_factory=list)
+    policy: str = "fair"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.policy not in ("fair", "fifo"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if not self.queues:
+            self.queues = [QueueConfig("default", 1.0)]
+        names = [q.name for q in self.queues]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate queue names")
+        total = sum(q.capacity for q in self.queues)
+        if total <= 0:
+            raise ValueError("queue capacities must sum to > 0")
+        if abs(total - 1.0) > 1e-9:
+            self.queues = [
+                QueueConfig(
+                    q.name, q.capacity / total, q.preemptible, q.preempts
+                )
+                for q in self.queues
+            ]
+        by_name = {q.name: q for q in self.queues}
+        tenant_names = [t.name for t in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ValueError("duplicate tenant names")
+        for tenant in self.tenants:
+            if tenant.queue not in by_name:
+                raise ValueError(
+                    f"tenant {tenant.name!r} submits to unknown queue "
+                    f"{tenant.queue!r}"
+                )
+            if tenant.weight <= 0:
+                raise ValueError(f"tenant {tenant.name!r} needs weight > 0")
+            if tenant.max_queued < 1:
+                raise ValueError(
+                    f"tenant {tenant.name!r} needs max_queued >= 1"
+                )
+
+    def queue(self, name: str) -> QueueConfig:
+        return next(q for q in self.queues if q.name == name)
+
+    def tenant(self, name: str) -> TenantConfig:
+        return next(t for t in self.tenants if t.name == name)
+
+    def queue_of(self, tenant: str) -> QueueConfig:
+        return self.queue(self.tenant(tenant).queue)
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "queues": [q.to_dict() for q in self.queues],
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterPolicy":
+        queues = [
+            QueueConfig(
+                name=q["name"],
+                capacity=float(q["capacity"]),
+                preemptible=bool(q.get("preemptible", False)),
+                preempts=bool(q.get("preempts", False)),
+            )
+            for q in data.get("queues", [])
+        ]
+        tenants = [
+            TenantConfig(
+                name=t["name"],
+                queue=t["queue"],
+                weight=float(t.get("weight", 1.0)),
+                max_queued=int(t.get("max_queued", 8)),
+                max_running_slots=int(t.get("max_running_slots", 0)),
+            )
+            for t in data.get("tenants", [])
+        ]
+        return cls(
+            queues=queues,
+            tenants=tenants,
+            policy=data.get("policy", "fair"),
+        )
+
+
+def fifo_variant(policy: ClusterPolicy) -> ClusterPolicy:
+    """The same queues/tenants arbitrated strictly by arrival order."""
+    return ClusterPolicy(
+        queues=list(policy.queues),
+        tenants=list(policy.tenants),
+        policy="fifo",
+    )

@@ -1,0 +1,787 @@
+"""The multi-job resource manager: one slot pool, many jobs.
+
+Where :class:`~repro.mapreduce.runner.JobRunner` gives one job the
+whole cluster, :class:`ClusterManager` owns every map slot and
+arbitrates them between concurrently-running jobs on a shared simulated
+timeline.  It reuses the runner's execution primitives — map attempts
+run for real via ``JobRunner.execute_map_attempt`` and each finished
+job's shuffle/sort/reduce runs via ``JobRunner.run_reduce_phase`` — so
+a job computes byte-identical output whether it runs alone or under
+contention.
+
+The manager adds the multi-tenancy layer the single-job path never
+needed:
+
+- **admission control** — each tenant has a bounded queue of admitted-
+  but-not-started jobs; submissions beyond it are rejected immediately
+  (backpressure, surfaced as ``admission.reject`` events),
+- **hierarchical fair share** — slots go to the most-underserved queue
+  (running/capacity), then the most-underserved tenant within it
+  (running/weight, respecting slot quotas), then the oldest job,
+- **preemption** — a queue marked ``preempts`` that is under its
+  guaranteed share evicts the longest-remaining attempt from a
+  ``preemptible`` queue; the evicted split re-queues through the retry
+  machinery *without* consuming a fault attempt,
+- **a FIFO mode** — strict arrival order, quotas and queues ignored:
+  the Hadoop-default baseline the fair policy is measured against.
+
+Everything flows through the ambient EventBus, so ``repro top`` and the
+trace exporters render multi-job runs with no extra plumbing.  Node
+deaths from a :class:`~repro.faults.FaultPlan` are handled exactly as
+in the single-job scheduler: running attempts on a dead node lose their
+work and re-queue with that node banned.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdfs.errors import FaultError
+from repro.hdfs.filesystem import FileSystem
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Job
+from repro.mapreduce.output import CollectOutputFormat
+from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.scheduler import ScheduledTask, _Pending
+from repro.obs import Observability, current_obs
+from repro.sim.metrics import Metrics
+
+from repro.cluster.config import ClusterPolicy
+from repro.cluster.report import ClusterReport, JobOutcome
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submission: who wants what, and when."""
+
+    job: Job
+    tenant: str
+    arrival: float
+    request_id: int = 0
+    kind: str = ""  # workload class label (crawl_scan / analytics / ...)
+
+
+@dataclass
+class _Running:
+    """One in-flight map attempt on a slot."""
+
+    execution: "_Execution"
+    pending: _Pending
+    task: ScheduledTask
+    node: int
+    slot: int
+    end: float
+    payload: Optional[Tuple[list, Counters]] = None
+    alive: bool = True      # False once preempted / node died
+    faulted: bool = False   # attempt failed mid-read (FaultError)
+
+
+class _Execution:
+    """Mutable per-job state while a job is on the cluster."""
+
+    def __init__(
+        self, request: JobRequest, queue: str, splits: List
+    ) -> None:
+        self.request = request
+        self.queue = queue
+        self.splits = splits
+        self.pending: List[_Pending] = [
+            _Pending(i, 0) for i in range(len(splits))
+        ]
+        self.attempts_used = [0] * len(splits)
+        self.payloads: Dict[int, Tuple[list, Counters]] = {}
+        self.tasks: List[ScheduledTask] = []
+        self.running = 0
+        self.started = False
+        self.start = 0.0
+        self.preemptions = 0
+        self.failed: Optional[str] = None
+
+    @property
+    def job(self) -> Job:
+        return self.request.job
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    def done(self) -> bool:
+        return (
+            self.failed is None
+            and not self.pending
+            and self.running == 0
+            and len(self.payloads) == len(self.splits)
+        )
+
+    def ready(self, now: float) -> List[_Pending]:
+        if self.failed is not None:
+            return []
+        return [p for p in self.pending if p.ready <= now]
+
+
+class ClusterManager:
+    """Arbitrates one cluster's map slots between many jobs."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        policy: ClusterPolicy,
+        obs: Optional[Observability] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        self.fs = fs
+        self.policy = policy
+        self.obs = obs if obs is not None else current_obs()
+        self.runner = JobRunner(fs, self.obs, faults)
+        self.faults = self.runner._injector()
+        #: overrides every job's own max_attempts when set
+        self.max_attempts = max_attempts
+
+        cluster = fs.cluster
+        self.free: List[Tuple[int, int]] = [
+            (node, slot)
+            for node in range(cluster.num_nodes)
+            for slot in range(cluster.map_slots_per_node)
+        ]
+        self.total_slots = len(self.free)
+        self.dead_nodes: set = set()
+        self.running: Dict[int, _Running] = {}
+        self._completions: List[Tuple[float, int]] = []
+        self._attempt_seq = 0
+        self.executions: List[_Execution] = []
+        self.outcomes: List[JobOutcome] = []
+        self.busy_slot_seconds = 0.0
+        self.preemptions = 0
+        self.horizon = 0.0
+        self.now = 0.0
+
+    # -- public entry point --------------------------------------------
+
+    def run(self, requests: List[JobRequest]) -> ClusterReport:
+        """Run every request to completion; returns the latency report."""
+        queue = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        self.obs.emit(
+            "cluster.start", sim_time=0.0,
+            policy=self.policy.policy,
+            nodes=self.fs.cluster.num_nodes,
+            slots=self.total_slots,
+            queues=len(self.policy.queues),
+            tenants=len(self.policy.tenants),
+            jobs=len(queue),
+        )
+        next_req = 0
+        while True:
+            # Everything due at the current instant, in causal order:
+            # faults fire, finished attempts release their slots, new
+            # jobs pass admission, under-served queues evict, then the
+            # freed/idle slots are assigned.
+            self._fire_faults(self.now)
+            self._drain_completions(self.now)
+            while (
+                next_req < len(queue)
+                and queue[next_req].arrival <= self.now
+            ):
+                self._admit(queue[next_req])
+                next_req += 1
+            if self.policy.policy == "fair":
+                self._preempt(self.now)
+            self._assign(self.now)
+
+            # Advance to the next event.  Assignment executes attempts
+            # eagerly, so completions scheduled for this same instant
+            # (zero-length attempts) re-run the loop without moving.
+            self._prune_completions()
+            future = []
+            if next_req < len(queue):
+                future.append(queue[next_req].arrival)
+            if self._completions:
+                future.append(self._completions[0][0])
+            for execution in self.executions:
+                if execution.failed is not None:
+                    continue
+                for p in execution.pending:
+                    if p.ready > self.now:
+                        future.append(p.ready)
+            if not future:
+                if any(
+                    e.failed is None and not e.done()
+                    for e in self.executions
+                ):
+                    # Ready work with nowhere to run and no event that
+                    # could change that: every slot died under it.
+                    self._strand()
+                break
+            self.now = max(self.now, min(future))
+            self.horizon = max(self.horizon, self.now)
+        report = ClusterReport(
+            policy=self.policy.policy,
+            outcomes=sorted(
+                self.outcomes, key=lambda o: o.request_id
+            ),
+            makespan=self.horizon,
+            total_slots=self.total_slots,
+            busy_slot_seconds=self.busy_slot_seconds,
+            preemptions=self.preemptions,
+        )
+        self.obs.emit(
+            "cluster.finish", sim_time=self.horizon,
+            policy=self.policy.policy,
+            completed=len(report.completed),
+            rejected=len(report.rejected),
+            failed=len(report.failed),
+            makespan=self.horizon,
+            utilization=report.utilization,
+            preemptions=self.preemptions,
+        )
+        return report
+
+    # -- admission ------------------------------------------------------
+
+    def _admit(self, request: JobRequest) -> None:
+        tenant = self.policy.tenant(request.tenant)
+        queue = tenant.queue
+        self.obs.emit(
+            "job.submitted", sim_time=request.arrival,
+            job=request.job.name, tenant=request.tenant, queue=queue,
+            kind=request.kind,
+        )
+        waiting = sum(
+            1 for e in self.executions
+            if e.tenant == request.tenant
+            and not e.started
+            and e.failed is None
+        )
+        if waiting >= tenant.max_queued:
+            self.obs.emit(
+                "admission.reject", sim_time=request.arrival,
+                job=request.job.name, tenant=request.tenant, queue=queue,
+                queued=waiting, limit=tenant.max_queued,
+            )
+            self.outcomes.append(JobOutcome(
+                request_id=request.request_id,
+                job_name=request.job.name,
+                tenant=request.tenant,
+                queue=queue,
+                kind=request.kind,
+                arrival=request.arrival,
+                status="rejected",
+                error=f"tenant queue full ({waiting}/{tenant.max_queued})",
+            ))
+            return
+        splits = request.job.input_format.get_splits(
+            self.fs, self.fs.cluster
+        )
+        execution = _Execution(request, queue, splits)
+        self.executions.append(execution)
+        self.obs.emit(
+            "admission.accept", sim_time=request.arrival,
+            job=request.job.name, tenant=request.tenant, queue=queue,
+            queued=waiting + 1, splits=len(splits),
+        )
+
+    # -- faults / node loss --------------------------------------------
+
+    def _fire_faults(self, now: float) -> None:
+        if self.faults is None:
+            return
+        self.faults.advance_time(now)
+        self._handle_faults()
+
+    def _handle_faults(self) -> None:
+        if self.faults is None:
+            return
+        for node, died_at in self.faults.drain_dead():
+            self._node_lost(node, died_at)
+        for node in self.faults.drain_retired():
+            self._retire_node(node)
+
+    def _retire_node(self, node: int) -> None:
+        self.dead_nodes.add(node)
+        self.free = [(n, s) for n, s in self.free if n != node]
+
+    def _node_lost(self, node: int, died_at: float) -> None:
+        self._retire_node(node)
+        self.obs.emit("node.lost", sim_time=died_at, node=node)
+        for running in list(self.running.values()):
+            if not running.alive or running.node != node:
+                continue
+            self._truncate(running, died_at, "node died")
+            execution = running.execution
+            execution.running -= 1
+            self.obs.registry.counter(
+                "task.attempts", outcome="node_lost"
+            ).inc()
+            self.obs.emit(
+                "task.finish", sim_time=died_at, kind="map",
+                split=execution.splits[running.pending.index].label,
+                node=node, slot=running.slot,
+                attempt=running.pending.attempt, outcome="lost",
+                error="node died", duration=running.task.duration,
+                job=execution.job.name, tenant=execution.tenant,
+            )
+            self._requeue(
+                execution, running.pending, died_at,
+                frozenset({node}), "node died", consume_attempt=True,
+            )
+
+    # -- attempt lifecycle ---------------------------------------------
+
+    def _truncate(
+        self, running: _Running, at: float, error: str
+    ) -> None:
+        """Stop a live attempt at ``at``; its work so far is wasted."""
+        running.alive = False
+        task = running.task
+        task.failed = True
+        task.error = error
+        task.duration = max(0.0, at - task.start)
+        self.busy_slot_seconds += task.duration
+
+    def _requeue(
+        self,
+        execution: _Execution,
+        pending: _Pending,
+        now: float,
+        banned: frozenset,
+        error: str,
+        consume_attempt: bool,
+    ) -> None:
+        index = pending.index
+        if not consume_attempt:
+            # A preempted attempt is the scheduler's fault, not the
+            # task's: give the attempt back so eviction can never
+            # starve a job into failed-job territory.
+            execution.attempts_used[index] -= 1
+        limit = max(
+            1,
+            self.max_attempts
+            if self.max_attempts is not None
+            else execution.job.max_attempts,
+        )
+        if execution.attempts_used[index] >= limit:
+            self._fail_job(
+                execution,
+                f"split {execution.splits[index].label or index} failed "
+                f"{execution.attempts_used[index]} of {limit} "
+                f"allowed attempts (last error: {error})",
+                now,
+            )
+            return
+        execution.pending.append(_Pending(
+            index,
+            execution.attempts_used[index],
+            now,
+            pending.banned | banned,
+        ))
+
+    def _fail_job(
+        self, execution: _Execution, error: str, now: float
+    ) -> None:
+        execution.failed = error
+        execution.pending.clear()
+        self.obs.emit(
+            "job.finish", sim_time=now,
+            job=execution.job.name, tenant=execution.tenant,
+            queue=execution.queue, outcome="failed", error=error,
+        )
+        self.outcomes.append(JobOutcome(
+            request_id=execution.request.request_id,
+            job_name=execution.job.name,
+            tenant=execution.tenant,
+            queue=execution.queue,
+            kind=execution.request.kind,
+            arrival=execution.request.arrival,
+            status="failed",
+            start=execution.start,
+            attempts=len(execution.tasks),
+            preemptions=execution.preemptions,
+            error=error,
+        ))
+
+    def _strand(self) -> None:
+        for execution in self.executions:
+            if execution.failed is None and not execution.done():
+                self._fail_job(
+                    execution, "no live map slots remain", self.now
+                )
+
+    # -- completions ----------------------------------------------------
+
+    def _prune_completions(self) -> None:
+        """Drop stale heap tops (attempts preempted / killed with
+        their node) so they never masquerade as future events."""
+        while self._completions:
+            _, seq = self._completions[0]
+            running = self.running.get(seq)
+            if running is not None and running.alive:
+                return
+            heapq.heappop(self._completions)
+            self.running.pop(seq, None)
+
+    def _drain_completions(self, upto: float) -> None:
+        while self._completions and self._completions[0][0] <= upto:
+            end, seq = heapq.heappop(self._completions)
+            running = self.running.pop(seq, None)
+            if running is None or not running.alive:
+                continue  # preempted or killed with the node
+            running.alive = False
+            execution = running.execution
+            execution.running -= 1
+            self.busy_slot_seconds += running.task.duration
+            if running.node not in self.dead_nodes:
+                self.free.append((running.node, running.slot))
+            outcome = "failed" if running.faulted else "ok"
+            self.obs.registry.counter(
+                "task.attempts", outcome=outcome
+            ).inc()
+            finish_attrs = dict(
+                kind="map",
+                split=execution.splits[running.pending.index].label,
+                node=running.node, slot=running.slot,
+                attempt=running.pending.attempt, outcome=outcome,
+                duration=running.task.duration,
+                job=execution.job.name, tenant=execution.tenant,
+            )
+            if running.faulted:
+                finish_attrs["error"] = running.task.error
+            self.obs.emit("task.finish", sim_time=end, **finish_attrs)
+            if running.faulted:
+                self._requeue(
+                    execution, running.pending, end,
+                    frozenset({running.node}),
+                    running.task.error or "fault",
+                    consume_attempt=True,
+                )
+            else:
+                execution.payloads[running.pending.index] = running.payload
+            if execution.done():
+                self._finalize(execution, end)
+
+    def _finalize(self, execution: _Execution, map_end: float) -> None:
+        """All splits finished: run shuffle/sort/reduce and commit."""
+        job = execution.job
+        counters = Counters()
+        map_outputs = []
+        for index in range(len(execution.splits)):
+            partitions, task_counters = execution.payloads[index]
+            map_outputs.append(partitions)
+            counters.merge(task_counters)
+        output_format = job.output_format
+        if output_format is None:
+            output_format = CollectOutputFormat()
+        reduce_makespan, _ = self.runner.run_reduce_phase(
+            job, map_outputs, output_format, counters, map_end
+        )
+        finish = (
+            map_end + reduce_makespan
+            + self.fs.cluster.job_overhead_seconds
+        )
+        self.horizon = max(self.horizon, finish)
+        outcome = JobOutcome(
+            request_id=execution.request.request_id,
+            job_name=job.name,
+            tenant=execution.tenant,
+            queue=execution.queue,
+            kind=execution.request.kind,
+            arrival=execution.request.arrival,
+            status="completed",
+            start=execution.start,
+            finish=finish,
+            map_makespan=map_end - execution.start,
+            reduce_time=reduce_makespan,
+            attempts=len(execution.tasks),
+            preemptions=execution.preemptions,
+        )
+        self.outcomes.append(outcome)
+        self.obs.emit(
+            "job.finish", sim_time=finish,
+            job=job.name, tenant=execution.tenant, queue=execution.queue,
+            outcome="completed", latency=outcome.latency,
+            wait=outcome.wait, preemptions=execution.preemptions,
+            attempts=len(execution.tasks),
+        )
+
+    # -- preemption -----------------------------------------------------
+
+    def _live_slots(self) -> int:
+        return len(self.free) + sum(
+            1 for r in self.running.values() if r.alive
+        )
+
+    def _running_in_queue(self, queue: str) -> int:
+        return sum(
+            1 for r in self.running.values()
+            if r.alive and r.execution.queue == queue
+        )
+
+    def _preempt(self, now: float) -> None:
+        live = self._live_slots()
+        if live <= 0:
+            return
+        for queue in self.policy.queues:
+            if not queue.preempts:
+                continue
+            demand = sum(
+                len(e.ready(now)) for e in self.executions
+                if e.queue == queue.name
+            )
+            if demand == 0:
+                continue
+            deserved = max(1, math.floor(queue.capacity * live))
+            shortfall = min(demand, deserved) \
+                - self._running_in_queue(queue.name) - len(self.free)
+            while shortfall > 0:
+                victim = self._pick_victim(queue.name)
+                if victim is None:
+                    break
+                self._preempt_one(victim, now, queue.name)
+                shortfall -= 1
+
+    def _pick_victim(self, for_queue: str) -> Optional[_Running]:
+        preemptible = {
+            q.name for q in self.policy.queues
+            if q.preemptible and q.name != for_queue
+        }
+        candidates = [
+            r for r in self.running.values()
+            if r.alive and r.execution.queue in preemptible
+        ]
+        if not candidates:
+            return None
+        # The attempt with the most remaining work has the least sunk
+        # cost per reclaimed second; ties break on placement for
+        # determinism.
+        return max(candidates, key=lambda r: (r.end, -r.node, -r.slot))
+
+    def _preempt_one(
+        self, running: _Running, now: float, by_queue: str
+    ) -> None:
+        self._truncate(running, now, "preempted")
+        running.task.preempted = True
+        execution = running.execution
+        execution.running -= 1
+        execution.preemptions += 1
+        self.preemptions += 1
+        self.free.append((running.node, running.slot))
+        split = execution.splits[running.pending.index]
+        self.obs.registry.counter(
+            "task.attempts", outcome="preempted"
+        ).inc()
+        self.obs.registry.counter(
+            "cluster.preemptions", queue=execution.queue
+        ).inc()
+        self.obs.emit(
+            "task.finish", sim_time=now, kind="map",
+            split=split.label, node=running.node, slot=running.slot,
+            attempt=running.pending.attempt, outcome="preempted",
+            duration=running.task.duration,
+            job=execution.job.name, tenant=execution.tenant,
+        )
+        self.obs.emit(
+            "task.preempted", sim_time=now,
+            split=split.label, node=running.node, slot=running.slot,
+            job=execution.job.name, tenant=execution.tenant,
+            queue=execution.queue, by_queue=by_queue,
+            ran=running.task.duration,
+        )
+        self._requeue(
+            execution, running.pending, now, frozenset(),
+            "preempted", consume_attempt=False,
+        )
+
+    # -- assignment -----------------------------------------------------
+
+    def _assign(self, now: float) -> bool:
+        """Place ready work on free slots; True if anything launched."""
+        launched = False
+        while self.free:
+            placement = self._select(now)
+            if placement is None:
+                break
+            execution, pending, node, slot, local = placement
+            self._launch(now, execution, pending, node, slot, local)
+            launched = True
+        return launched
+
+    def _select(self, now: float):
+        if self.policy.policy == "fifo":
+            ordered = sorted(
+                (e for e in self.executions if e.ready(now)),
+                key=lambda e: (
+                    e.request.arrival, e.request.request_id
+                ),
+            )
+            for execution in ordered:
+                placed = self._place(execution, now)
+                if placed is not None:
+                    return placed
+            return None
+        # Hierarchical fair share: most-underserved queue, then
+        # most-underserved tenant under quota, then oldest job.
+        skipped_queues: set = set()
+        while True:
+            queues = {}
+            for execution in self.executions:
+                if execution.queue in skipped_queues:
+                    continue
+                if execution.ready(now):
+                    queues.setdefault(execution.queue, []).append(execution)
+            if not queues:
+                return None
+            queue_name = min(
+                queues,
+                key=lambda name: (
+                    self._running_in_queue(name)
+                    / self.policy.queue(name).capacity,
+                    name,
+                ),
+            )
+            placed = self._select_in_queue(queues[queue_name], now)
+            if placed is not None:
+                return placed
+            skipped_queues.add(queue_name)
+
+    def _select_in_queue(self, executions: List[_Execution], now: float):
+        running_by_tenant: Dict[str, int] = {}
+        for r in self.running.values():
+            if r.alive:
+                running_by_tenant[r.execution.tenant] = (
+                    running_by_tenant.get(r.execution.tenant, 0) + 1
+                )
+        by_tenant: Dict[str, List[_Execution]] = {}
+        for execution in executions:
+            by_tenant.setdefault(execution.tenant, []).append(execution)
+        skipped: set = set()
+        while True:
+            candidates = [
+                name for name in by_tenant if name not in skipped
+            ]
+            if not candidates:
+                return None
+            name = min(
+                candidates,
+                key=lambda n: (
+                    running_by_tenant.get(n, 0)
+                    / self.policy.tenant(n).weight,
+                    n,
+                ),
+            )
+            tenant = self.policy.tenant(name)
+            if (
+                tenant.max_running_slots > 0
+                and running_by_tenant.get(name, 0)
+                >= tenant.max_running_slots
+            ):
+                skipped.add(name)
+                continue
+            for execution in sorted(
+                by_tenant[name],
+                key=lambda e: (e.request.arrival, e.request.request_id),
+            ):
+                placed = self._place(execution, now)
+                if placed is not None:
+                    return placed
+            skipped.add(name)
+
+    def _place(self, execution: _Execution, now: float):
+        """Match one of the job's ready splits to a free slot,
+        data-local first."""
+        free = sorted(self.free)
+        ready = execution.ready(now)
+        for pending in ready:
+            locations = execution.splits[pending.index].locations
+            for node, slot in free:
+                if node in pending.banned:
+                    continue
+                if node in locations:
+                    return execution, pending, node, slot, True
+        for pending in ready:
+            for node, slot in free:
+                if node in pending.banned:
+                    continue
+                return execution, pending, node, slot, False
+        return None
+
+    def _launch(
+        self,
+        now: float,
+        execution: _Execution,
+        pending: _Pending,
+        node: int,
+        slot: int,
+        local: bool,
+    ) -> None:
+        self.free.remove((node, slot))
+        execution.pending.remove(pending)
+        if self.faults is not None:
+            self.faults.on_task_start()
+            self._handle_faults()
+            if node in self.dead_nodes or self.faults.is_dead(node):
+                # A task-boundary fault took the node out before the
+                # attempt started; the slot died with it.
+                execution.pending.append(pending)
+                return
+        job = execution.job
+        split = execution.splits[pending.index]
+        execution.attempts_used[pending.index] += 1
+        if not execution.started:
+            execution.started = True
+            execution.start = now
+            self.obs.emit(
+                "job.dispatch", sim_time=now,
+                job=job.name, tenant=execution.tenant,
+                queue=execution.queue, splits=len(execution.splits),
+                wait=now - execution.request.arrival,
+            )
+        placement = "local" if local else "remote"
+        self.obs.registry.counter(
+            "scheduler.assignments", placement=placement
+        ).inc()
+        self.obs.emit(
+            "task.start", sim_time=now, kind="map",
+            split=split.label, node=node, slot=slot,
+            attempt=pending.attempt, placement=placement,
+            job=job.name, tenant=execution.tenant, queue=execution.queue,
+        )
+        faulted = False
+        payload = None
+        try:
+            metrics, partitions, task_counters = (
+                self.runner.execute_map_attempt(job, split, node)
+            )
+            payload = (partitions, task_counters)
+            error = None
+        except FaultError as exc:
+            metrics = getattr(exc, "metrics", None) or Metrics()
+            error = str(exc) or type(exc).__name__
+            faulted = True
+        duration = metrics.task_time
+        task = ScheduledTask(
+            split, node, now, duration, metrics, local,
+            attempt=pending.attempt, failed=faulted, error=error,
+            split_index=pending.index, slot=slot,
+        )
+        execution.tasks.append(task)
+        execution.running += 1
+        # task.finish is deferred until the attempt actually resolves
+        # (drain / preemption / node loss): an attempt launched now may
+        # never reach its computed end.
+        self._attempt_seq += 1
+        running = _Running(
+            execution=execution,
+            pending=pending,
+            task=task,
+            node=node,
+            slot=slot,
+            end=now + duration,
+            payload=payload,
+            faulted=faulted,
+        )
+        self.running[self._attempt_seq] = running
+        heapq.heappush(
+            self._completions, (now + duration, self._attempt_seq)
+        )

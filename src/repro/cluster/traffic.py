@@ -1,0 +1,321 @@
+"""Seeded open-loop traffic: Poisson arrivals of mixed workloads.
+
+The HiBench-style load profile the acceptance experiment runs: three
+tenants share one cluster —
+
+- **etl** submits long crawl scans (Figure 1's distinct-content-types
+  job over a row-oriented SequenceFile, so every map task drags the
+  bulky ``content`` column through the disk — the paper's slow
+  baseline),
+- **analytics** submits medium aggregations (Appendix B.4's
+  selectivity job over a CIF-stored microbenchmark dataset),
+- **dashboard** submits interactive point queries (tiny map-only
+  projection scans over a small CIF dataset) into a ``preempts``
+  queue.
+
+Arrivals are *open loop*: each tenant draws inter-arrival gaps from an
+exponential distribution with its configured rate, independent of how
+backed up the cluster is — so pressure builds exactly when scheduling
+policy matters.  Each tenant's arrival process is seeded as
+``f"{seed}:{tenant}"``: the trace is byte-reproducible and adding a
+tenant never perturbs another tenant's arrivals.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench import harness
+from repro.core import ColumnInputFormat, write_dataset
+from repro.formats.sequence_file import (
+    SequenceFileInputFormat,
+    write_sequence_file,
+)
+from repro.hdfs import ClusterConfig, FileSystem
+from repro.mapreduce.job import Job
+from repro.obs import Observability
+from repro.workloads.crawl import crawl_records, crawl_schema
+from repro.workloads.jobs import (
+    distinct_content_types_job,
+    projection_scan_job,
+    selectivity_aggregation_job,
+)
+from repro.workloads.micro import micro_records, micro_schema
+
+from repro.cluster.config import ClusterPolicy, QueueConfig, TenantConfig
+from repro.cluster.manager import ClusterManager, JobRequest
+from repro.cluster.report import ClusterReport
+
+CRAWL_SEQ = "/cluster/crawl-seq"
+MICRO_CIF = "/cluster/micro-cif"
+POINT_CIF = "/cluster/point-cif"
+
+JOB_KINDS = ("crawl_scan", "analytics", "point_query")
+
+
+@dataclass
+class TrafficTenant:
+    """One tenant's identity plus its arrival process."""
+
+    name: str
+    queue: str
+    rate: float                      # jobs per simulated second
+    jobs: Dict[str, float] = field(
+        default_factory=lambda: {"crawl_scan": 1.0}
+    )
+    weight: float = 1.0
+    max_queued: int = 8
+    max_running_slots: int = 0
+
+    def tenant_config(self) -> TenantConfig:
+        return TenantConfig(
+            name=self.name,
+            queue=self.queue,
+            weight=self.weight,
+            max_queued=self.max_queued,
+            max_running_slots=self.max_running_slots,
+        )
+
+
+@dataclass
+class TrafficProfile:
+    """Everything one seeded load test needs, JSON-serializable."""
+
+    seed: int = 20110401
+    duration: float = 1.0            # simulated seconds of arrivals
+    nodes: int = 4
+    map_slots_per_node: int = 2
+    block_kb: int = 256
+    policy: str = "fair"
+    datasets: Dict[str, int] = field(default_factory=lambda: {
+        "crawl_records": 160,
+        "content_bytes": 16384,
+        "micro_records": 600,
+        "point_records": 40,
+    })
+    queues: List[QueueConfig] = field(default_factory=list)
+    tenants: List[TrafficTenant] = field(default_factory=list)
+
+    def cluster_policy(self, policy: Optional[str] = None) -> ClusterPolicy:
+        return ClusterPolicy(
+            queues=list(self.queues),
+            tenants=[t.tenant_config() for t in self.tenants],
+            policy=policy or self.policy,
+        )
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "nodes": self.nodes,
+            "map_slots_per_node": self.map_slots_per_node,
+            "block_kb": self.block_kb,
+            "policy": self.policy,
+            "datasets": dict(self.datasets),
+            "queues": [q.to_dict() for q in self.queues],
+            "tenants": [
+                {
+                    "name": t.name,
+                    "queue": t.queue,
+                    "rate": t.rate,
+                    "jobs": dict(t.jobs),
+                    "weight": t.weight,
+                    "max_queued": t.max_queued,
+                    "max_running_slots": t.max_running_slots,
+                }
+                for t in self.tenants
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficProfile":
+        base = sample_profile()
+        queues = [
+            QueueConfig(
+                name=q["name"],
+                capacity=float(q["capacity"]),
+                preemptible=bool(q.get("preemptible", False)),
+                preempts=bool(q.get("preempts", False)),
+            )
+            for q in data.get("queues", [])
+        ] or base.queues
+        tenants = [
+            TrafficTenant(
+                name=t["name"],
+                queue=t["queue"],
+                rate=float(t["rate"]),
+                jobs={
+                    k: float(v)
+                    for k, v in t.get("jobs", {"crawl_scan": 1.0}).items()
+                },
+                weight=float(t.get("weight", 1.0)),
+                max_queued=int(t.get("max_queued", 8)),
+                max_running_slots=int(t.get("max_running_slots", 0)),
+            )
+            for t in data.get("tenants", [])
+        ] or base.tenants
+        for tenant in tenants:
+            for kind in tenant.jobs:
+                if kind not in JOB_KINDS:
+                    raise ValueError(
+                        f"tenant {tenant.name!r} submits unknown job kind "
+                        f"{kind!r} (known: {', '.join(JOB_KINDS)})"
+                    )
+        datasets = dict(base.datasets)
+        datasets.update(data.get("datasets", {}))
+        return cls(
+            seed=int(data.get("seed", base.seed)),
+            duration=float(data.get("duration", base.duration)),
+            nodes=int(data.get("nodes", base.nodes)),
+            map_slots_per_node=int(
+                data.get("map_slots_per_node", base.map_slots_per_node)
+            ),
+            block_kb=int(data.get("block_kb", base.block_kb)),
+            policy=data.get("policy", base.policy),
+            datasets=datasets,
+            queues=queues,
+            tenants=tenants,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "TrafficProfile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def sample_profile() -> TrafficProfile:
+    """The canonical 3-tenant mixed workload of the acceptance test."""
+    return TrafficProfile(
+        queues=[
+            QueueConfig("batch", capacity=0.7, preemptible=True),
+            QueueConfig("interactive", capacity=0.3, preempts=True),
+        ],
+        tenants=[
+            TrafficTenant(
+                name="etl", queue="batch", rate=25.0,
+                jobs={"crawl_scan": 1.0}, weight=1.0, max_queued=6,
+            ),
+            TrafficTenant(
+                name="analytics", queue="batch", rate=40.0,
+                jobs={"analytics": 0.8, "crawl_scan": 0.2},
+                weight=1.0, max_queued=6,
+            ),
+            TrafficTenant(
+                name="dashboard", queue="interactive", rate=120.0,
+                jobs={"point_query": 1.0}, weight=2.0, max_queued=12,
+            ),
+        ],
+    )
+
+
+# -- cluster + datasets ----------------------------------------------------
+
+
+def build_filesystem(profile: TrafficProfile) -> FileSystem:
+    """A small contended cluster loaded with the three datasets."""
+    fs = FileSystem(ClusterConfig(
+        num_nodes=profile.nodes,
+        map_slots_per_node=profile.map_slots_per_node,
+        reduce_slots_per_node=1,
+        block_size=profile.block_kb * 1024,
+        io_buffer_size=harness.MICRO_IO_BUFFER,
+        disk=harness.scaled_disk(),
+        network=harness.scaled_network(),
+        seed=profile.seed,
+    ))
+    sizes = profile.datasets
+    crawl = list(crawl_records(
+        sizes["crawl_records"],
+        content_bytes=sizes["content_bytes"],
+        seed=profile.seed,
+    ))
+    write_sequence_file(fs, CRAWL_SEQ, crawl_schema(), crawl)
+    write_dataset(
+        fs, MICRO_CIF, micro_schema(),
+        micro_records(sizes["micro_records"], seed=profile.seed),
+        split_bytes=16 * 1024,
+    )
+    write_dataset(
+        fs, POINT_CIF, micro_schema(),
+        micro_records(sizes["point_records"], seed=profile.seed + 1),
+        split_bytes=64 * 1024,
+    )
+    return fs
+
+
+def make_job(kind: str, tenant: str, index: int) -> Job:
+    """One job instance of the given workload class."""
+    name = f"{kind}:{tenant}:{index}"
+    if kind == "crawl_scan":
+        return distinct_content_types_job(
+            SequenceFileInputFormat(CRAWL_SEQ),
+            num_reducers=2,
+            name=name,
+        )
+    if kind == "analytics":
+        return selectivity_aggregation_job(
+            ColumnInputFormat(MICRO_CIF, columns=["str0", "attrs"]),
+            string_column="str0",
+            map_column="attrs",
+            map_key="k0",
+            pattern="e",
+            name=name,
+        )
+    if kind == "point_query":
+        return projection_scan_job(
+            ColumnInputFormat(POINT_CIF, columns=["int0"]),
+            columns=["int0"],
+            name=name,
+        )
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+# -- the arrival process ---------------------------------------------------
+
+
+def generate_requests(profile: TrafficProfile) -> List[JobRequest]:
+    """Draw every tenant's Poisson arrival trace for the run window."""
+    drawn = []
+    for tenant in sorted(profile.tenants, key=lambda t: t.name):
+        rng = random.Random(f"{profile.seed}:{tenant.name}")
+        kinds = sorted(tenant.jobs)
+        weights = [tenant.jobs[k] for k in kinds]
+        t = 0.0
+        index = 0
+        while True:
+            t += rng.expovariate(tenant.rate)
+            if t > profile.duration:
+                break
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            drawn.append((t, tenant.name, kind, index))
+            index += 1
+    drawn.sort(key=lambda item: (item[0], item[1], item[3]))
+    return [
+        JobRequest(
+            job=make_job(kind, tenant, index),
+            tenant=tenant,
+            arrival=arrival,
+            request_id=request_id,
+            kind=kind,
+        )
+        for request_id, (arrival, tenant, kind, index) in enumerate(drawn)
+    ]
+
+
+def run_traffic(
+    profile: TrafficProfile,
+    policy: Optional[str] = None,
+    obs: Optional[Observability] = None,
+    faults=None,
+) -> ClusterReport:
+    """Build the cluster, draw the trace, run it; returns the report."""
+    fs = build_filesystem(profile)
+    manager = ClusterManager(
+        fs, profile.cluster_policy(policy), obs=obs, faults=faults
+    )
+    return manager.run(generate_requests(profile))

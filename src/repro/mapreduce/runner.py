@@ -151,25 +151,15 @@ class JobRunner:
         attempt_payloads: List[Optional[Tuple[list, Counters]]] = []
 
         def execute(split: InputSplit, node: int) -> Metrics:
-            ctx = TaskContext(
-                node=node,
-                cost=job.cost,
-                io_buffer_size=cluster.io_buffer_size,
-                obs=obs,
-            )
             try:
-                partitions = self._run_map_task(job, split, ctx)
-            except FaultError as exc:
-                # The partial work (bytes read, seconds burned before the
-                # fault) still happened on the cluster; hand the metrics
-                # to the scheduler so the failed attempt occupies its
-                # slot for the time it actually ran.
-                if exc.metrics is None:
-                    exc.metrics = ctx.metrics
+                metrics, partitions, task_counters = (
+                    self.execute_map_attempt(job, split, node)
+                )
+            except FaultError:
                 attempt_payloads.append(None)
                 raise
-            attempt_payloads.append((partitions, ctx.counters))
-            return ctx.metrics
+            attempt_payloads.append((partitions, task_counters))
+            return metrics
 
         input_fmt = type(job.input_format).__name__
         with obs.tracer.span("map_phase", kind="phase", splits=len(splits)):
@@ -258,79 +248,9 @@ class JobRunner:
             collect = CollectOutputFormat()
             output_format = collect
 
-        reduce_metrics = Metrics()
-        if job.is_map_only:
-            # Map output goes straight to the output format; writing cost
-            # is already inside each task's metrics budget in Hadoop, but
-            # for map-only jobs we charge it to the reduce side as zero.
-            writer_ctx = TaskContext(
-                node=None, cost=job.cost,
-                io_buffer_size=cluster.io_buffer_size, obs=obs,
-            )
-            writer = output_format.open_writer(self.fs, 0, writer_ctx)
-            for partitions in map_outputs:
-                for partition in partitions:
-                    for key, value in partition:
-                        writer.write(key, value)
-            writer.close()
-            reduce_makespan = 0.0
-        else:
-            durations = []
-            with obs.tracer.span(
-                "reduce_phase", kind="phase", reducers=job.num_reducers,
-                metrics=reduce_metrics,
-            ):
-                obs.emit(
-                    "phase.start", sim_time=map_makespan, phase="reduce",
-                    job=job.name, reducers=job.num_reducers,
-                )
-                for r in range(job.num_reducers):
-                    ctx = TaskContext(
-                        node=None,
-                        cost=job.cost,
-                        io_buffer_size=cluster.io_buffer_size,
-                        obs=obs,
-                    )
-                    obs.emit(
-                        "task.start", sim_time=map_makespan,
-                        kind="reduce", partition=r,
-                    )
-                    self._run_reduce_task(
-                        job, r, map_outputs, output_format, ctx
-                    )
-                    counters.merge(ctx.counters)
-                    reduce_metrics.add(ctx.metrics)
-                    durations.append(ctx.metrics.task_time)
-                    obs.registry.histogram(
-                        "task.duration.seconds", TASK_DURATION_BOUNDARIES,
-                        kind="reduce",
-                    ).observe(ctx.metrics.task_time)
-                    obs.tracer.record_span(
-                        "reduce_task",
-                        kind="task",
-                        sim_start=0.0,
-                        sim_duration=ctx.metrics.task_time,
-                        sim_io=ctx.metrics.io_time,
-                        sim_cpu=ctx.metrics.cpu_time,
-                        partition=r,
-                        records=ctx.metrics.records,
-                        net_bytes=ctx.metrics.net_bytes,
-                    )
-                    obs.emit(
-                        "task.finish", sim_time=ctx.metrics.task_time,
-                        kind="reduce", partition=r, outcome="ok",
-                        duration=ctx.metrics.task_time,
-                    )
-                reduce_makespan = simulate_wave_makespan(
-                    durations, cluster.total_reduce_slots
-                )
-                obs.emit(
-                    "phase.finish",
-                    sim_time=map_makespan + reduce_makespan,
-                    phase="reduce", job=job.name,
-                    makespan=reduce_makespan,
-                )
-            counters.increment("reduce.tasks", job.num_reducers)
+        reduce_makespan, reduce_metrics = self.run_reduce_phase(
+            job, map_outputs, output_format, counters, map_makespan
+        )
 
         total_time = (
             map_makespan + reduce_makespan + cluster.job_overhead_seconds
@@ -352,6 +272,125 @@ class JobRunner:
         )
 
     # -- phases -----------------------------------------------------------
+
+    def execute_map_attempt(
+        self, job: Job, split: InputSplit, node: Optional[int]
+    ) -> Tuple[Metrics, List[List[Tuple[object, object]]], Counters]:
+        """Run one map attempt for real on ``node``.
+
+        Returns ``(metrics, partitions, counters)`` for a completed
+        attempt.  A :class:`FaultError` raised mid-read is re-raised
+        with the attempt's partial metrics attached — the work still
+        happened on the cluster even though it produced no output.
+
+        This is the unit of execution shared by the single-job
+        scheduler and the multi-job :mod:`repro.cluster` manager.
+        """
+        ctx = TaskContext(
+            node=node,
+            cost=job.cost,
+            io_buffer_size=self.fs.cluster.io_buffer_size,
+            obs=self.obs,
+        )
+        try:
+            partitions = self._run_map_task(job, split, ctx)
+        except FaultError as exc:
+            if exc.metrics is None:
+                exc.metrics = ctx.metrics
+            raise
+        return ctx.metrics, partitions, ctx.counters
+
+    def run_reduce_phase(
+        self,
+        job: Job,
+        map_outputs: List[List[List[Tuple[object, object]]]],
+        output_format,
+        counters: Counters,
+        start_time: float,
+    ) -> Tuple[float, Metrics]:
+        """Shuffle/sort/reduce (or final write for map-only jobs).
+
+        ``start_time`` is the simulated time the map phase finished —
+        for a single job that is its map makespan; under the cluster
+        manager it is the job's position on the shared timeline.
+        Returns ``(reduce_makespan, reduce_metrics)``.
+        """
+        obs = self.obs
+        cluster = self.fs.cluster
+        reduce_metrics = Metrics()
+        if job.is_map_only:
+            # Map output goes straight to the output format; writing cost
+            # is already inside each task's metrics budget in Hadoop, but
+            # for map-only jobs we charge it to the reduce side as zero.
+            writer_ctx = TaskContext(
+                node=None, cost=job.cost,
+                io_buffer_size=cluster.io_buffer_size, obs=obs,
+            )
+            writer = output_format.open_writer(self.fs, 0, writer_ctx)
+            for partitions in map_outputs:
+                for partition in partitions:
+                    for key, value in partition:
+                        writer.write(key, value)
+            writer.close()
+            return 0.0, reduce_metrics
+
+        durations = []
+        with obs.tracer.span(
+            "reduce_phase", kind="phase", reducers=job.num_reducers,
+            metrics=reduce_metrics,
+        ):
+            obs.emit(
+                "phase.start", sim_time=start_time, phase="reduce",
+                job=job.name, reducers=job.num_reducers,
+            )
+            for r in range(job.num_reducers):
+                ctx = TaskContext(
+                    node=None,
+                    cost=job.cost,
+                    io_buffer_size=cluster.io_buffer_size,
+                    obs=obs,
+                )
+                obs.emit(
+                    "task.start", sim_time=start_time,
+                    kind="reduce", partition=r,
+                )
+                self._run_reduce_task(
+                    job, r, map_outputs, output_format, ctx
+                )
+                counters.merge(ctx.counters)
+                reduce_metrics.add(ctx.metrics)
+                durations.append(ctx.metrics.task_time)
+                obs.registry.histogram(
+                    "task.duration.seconds", TASK_DURATION_BOUNDARIES,
+                    kind="reduce",
+                ).observe(ctx.metrics.task_time)
+                obs.tracer.record_span(
+                    "reduce_task",
+                    kind="task",
+                    sim_start=0.0,
+                    sim_duration=ctx.metrics.task_time,
+                    sim_io=ctx.metrics.io_time,
+                    sim_cpu=ctx.metrics.cpu_time,
+                    partition=r,
+                    records=ctx.metrics.records,
+                    net_bytes=ctx.metrics.net_bytes,
+                )
+                obs.emit(
+                    "task.finish", sim_time=ctx.metrics.task_time,
+                    kind="reduce", partition=r, outcome="ok",
+                    duration=ctx.metrics.task_time,
+                )
+            reduce_makespan = simulate_wave_makespan(
+                durations, cluster.total_reduce_slots
+            )
+            obs.emit(
+                "phase.finish",
+                sim_time=start_time + reduce_makespan,
+                phase="reduce", job=job.name,
+                makespan=reduce_makespan,
+            )
+        counters.increment("reduce.tasks", job.num_reducers)
+        return reduce_makespan, reduce_metrics
 
     def _run_map_task(
         self, job: Job, split: InputSplit, ctx: TaskContext

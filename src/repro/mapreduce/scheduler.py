@@ -47,6 +47,7 @@ class ScheduledTask:
     error: Optional[str] = None
     split_index: int = -1
     slot: int = -1        # which of the node's map slots ran the attempt
+    preempted: bool = False  # evicted by a higher-priority queue; requeued
 
     @property
     def end(self) -> float:

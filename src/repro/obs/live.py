@@ -80,6 +80,18 @@ class LiveMonitor:
         self.by_kind: Dict[str, int] = {}
         self.sim_now = 0.0
 
+        # -- multi-job (cluster manager) state -------------------------
+        self.cluster_mode = False
+        self.cluster_policy: Optional[str] = None
+        self.jobs_total = 0
+        self.jobs_done = 0
+        self.jobs_rejected = 0
+        self.jobs_failed = 0
+        self.preempted = 0
+        self.utilization: Optional[float] = None
+        #: tenant -> {queue, submitted, done, rejected, preempted}
+        self.tenants: Dict[str, Dict[str, object]] = {}
+
     # -- bus plumbing --------------------------------------------------
 
     def attach(self, bus: EventBus) -> "LiveMonitor":
@@ -110,15 +122,52 @@ class LiveMonitor:
             self.sim_now = max(self.sim_now, event.sim_time)
         if kind == "job.start":
             self.job = attrs.get("job")
-        elif kind == "job.finish":
+        elif kind == "cluster.start":
+            self.cluster_mode = True
+            self.cluster_policy = attrs.get("policy")
+            self.jobs_total = attrs.get("jobs", 0)
+        elif kind == "cluster.finish":
             self.finished = True
-            self.total_time = attrs.get("total_time")
+            self.total_time = attrs.get("makespan")
+            self.utilization = attrs.get("utilization")
+        elif kind == "job.submitted":
+            tenant = self._tenant(attrs)
+            if tenant is not None:
+                tenant["submitted"] += 1
+        elif kind == "admission.reject":
+            self.jobs_rejected += 1
+            tenant = self._tenant(attrs)
+            if tenant is not None:
+                tenant["rejected"] += 1
+        elif kind == "admission.accept":
+            # The manager reports split counts at admission; map totals
+            # accumulate across jobs instead of being per-phase.
+            self.map_total += attrs.get("splits", 0)
+        elif kind == "job.finish":
+            tenant = self._tenant(attrs)
+            if tenant is None:
+                self.finished = True
+                self.total_time = attrs.get("total_time")
+            elif attrs.get("outcome") == "failed":
+                self.jobs_failed += 1
+                tenant["failed"] += 1
+            else:
+                self.jobs_done += 1
+                tenant["done"] += 1
+        elif kind == "task.preempted":
+            self.preempted += 1
+            tenant = self._tenant(attrs)
+            if tenant is not None:
+                tenant["preempted"] += 1
         elif kind == "phase.start":
             self.phase = attrs.get("phase", "?")
             if self.phase == "map":
                 self.map_total = attrs.get("splits", 0)
             elif self.phase == "reduce":
-                self.reduce_total = attrs.get("reducers", 0)
+                if self.cluster_mode:
+                    self.reduce_total += attrs.get("reducers", 0)
+                else:
+                    self.reduce_total = attrs.get("reducers", 0)
         elif kind == "phase.finish":
             self.phase = f"{attrs.get('phase', '?')} done"
         elif kind == "task.start":
@@ -132,6 +181,8 @@ class LiveMonitor:
                 self.reduce_done += 1
             elif attrs.get("outcome") == "ok":
                 self.map_done += 1
+            elif attrs.get("outcome") == "preempted":
+                pass  # counted via task.preempted
             else:
                 self.map_failed += 1
         elif kind == "task.speculative":
@@ -155,6 +206,16 @@ class LiveMonitor:
         elif kind == "replica.failover":
             self.failovers += 1
 
+    def _tenant(self, attrs) -> Optional[Dict[str, object]]:
+        name = attrs.get("tenant")
+        if name is None:
+            return None
+        return self.tenants.setdefault(name, {
+            "queue": attrs.get("queue", "?"),
+            "submitted": 0, "done": 0, "rejected": 0,
+            "failed": 0, "preempted": 0,
+        })
+
     # -- rendering ------------------------------------------------------
 
     def render_frame(self) -> str:
@@ -162,17 +223,50 @@ class LiveMonitor:
         status = "FINISHED" if self.finished else f"phase: {self.phase}"
         if self.finished and self.total_time is not None:
             status += f" in {self.total_time:.3f}s (simulated)"
+        if self.cluster_mode:
+            head = pal.bold(
+                f"repro top — cluster policy={self.cluster_policy or '?'}"
+            ) + (
+                f"  [{status}]"
+                f"  jobs {self.jobs_done}/{self.jobs_total}"
+            )
+            if self.jobs_rejected:
+                head += f"  rejected={self.jobs_rejected}"
+            if self.jobs_failed:
+                head += pal.red(f"  failed={self.jobs_failed}")
+            if self.utilization is not None:
+                head += f"  utilization={self.utilization:.1%}"
+        else:
+            head = pal.bold(
+                f"repro top — job: {self.job or '-'}"
+            ) + f"  [{status}]"
         lines = [
-            pal.bold(f"repro top — job: {self.job or '-'}")
-            + f"  [{status}]  sim t={self.sim_now:.3f}s"
+            head
+            + f"  sim t={self.sim_now:.3f}s"
             + f"  events={self.events_seen}",
             "  map    " + _bar(self.map_done, self.map_total)
             + (
                 pal.red(f"  failed={self.map_failed}")
                 if self.map_failed else ""
+            )
+            + (
+                pal.yellow(f"  preempted={self.preempted}")
+                if self.preempted else ""
             ),
             "  reduce " + _bar(self.reduce_done, self.reduce_total),
         ]
+        if self.tenants:
+            lines.append(
+                f"  {'tenant':<12}{'queue':<14}{'sub':>5}{'done':>6}"
+                f"{'rej':>5}{'fail':>5}{'preempt':>8}"
+            )
+            for name in sorted(self.tenants):
+                t = self.tenants[name]
+                lines.append(
+                    f"  {name:<12}{t['queue']:<14}{t['submitted']:>5}"
+                    f"{t['done']:>6}{t['rejected']:>5}{t['failed']:>5}"
+                    f"{t['preempted']:>8}"
+                )
 
         if self.running:
             per_node: Dict[int, List[str]] = {}

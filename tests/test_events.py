@@ -339,3 +339,72 @@ class TestLiveMonitor:
         assert monitor.frames == len(recorder.events_log)
         assert monitor.finished
         assert any("FINISHED" in frame for frame in frames)
+
+
+class TestClusterMonitor:
+    """The multi-job frame: tenant table, preemptions, utilization."""
+
+    def fold(self, *events):
+        bus = EventBus(clock=FakeClock())
+        monitor = LiveMonitor(lambda s: None, quiet=True).attach(bus)
+        for kind, attrs in events:
+            bus.emit(kind, **attrs)
+        return monitor
+
+    def test_cluster_frame_shows_policy_tenants_and_preemptions(self):
+        monitor = self.fold(
+            ("cluster.start", dict(sim_time=0.0, policy="fair", jobs=2)),
+            ("job.submitted", dict(
+                sim_time=0.0, job="a", tenant="etl", queue="batch",
+            )),
+            ("admission.accept", dict(
+                sim_time=0.0, job="a", tenant="etl", queue="batch",
+                splits=3,
+            )),
+            ("job.submitted", dict(
+                sim_time=0.01, job="b", tenant="etl", queue="batch",
+            )),
+            ("admission.reject", dict(
+                sim_time=0.01, job="b", tenant="etl", queue="batch",
+            )),
+            ("task.preempted", dict(
+                sim_time=0.1, tenant="etl", queue="batch",
+            )),
+            ("job.finish", dict(
+                sim_time=0.2, job="a", tenant="etl", queue="batch",
+                outcome="completed",
+            )),
+            ("cluster.finish", dict(
+                sim_time=0.3, makespan=0.3, utilization=0.5,
+            )),
+        )
+        frame = monitor.render_frame()
+        assert "cluster policy=fair" in frame
+        assert "jobs 1/2" in frame
+        assert "rejected=1" in frame
+        assert "preempted=1" in frame
+        assert "utilization=50.0%" in frame
+        assert "etl" in frame and "batch" in frame
+        assert monitor.map_total == 3
+
+    def test_single_job_frames_are_unchanged_by_cluster_support(self):
+        monitor = self.fold(
+            ("job.start", dict(sim_time=0.0, job="solo")),
+            ("phase.start", dict(sim_time=0.0, phase="map", splits=4)),
+            ("job.finish", dict(sim_time=1.0, total_time=1.0)),
+        )
+        frame = monitor.render_frame()
+        assert "job: solo" in frame
+        assert "cluster" not in frame
+        assert monitor.finished and monitor.total_time == 1.0
+
+    def test_preempted_task_finish_is_not_a_map_failure(self):
+        monitor = self.fold(
+            ("cluster.start", dict(sim_time=0.0, policy="fair", jobs=1)),
+            ("task.finish", dict(
+                sim_time=0.1, kind="map", outcome="preempted",
+                node=0, slot=0, tenant="etl",
+            )),
+        )
+        assert monitor.map_failed == 0
+        assert monitor.map_done == 0

@@ -428,3 +428,91 @@ class TestFsckTrace:
         report = RunReport.load(str(trace))
         assert report.meta["healthy"] is True
         assert "load" in {s["name"] for s in report.spans}
+
+
+class TestClusterCli:
+    def collect(self, argv):
+        lines = []
+        code = main(argv, out=lines.append)
+        return code, "\n".join(lines)
+
+    @pytest.fixture()
+    def tiny_profile(self, tmp_path):
+        """The sample profile shrunk to a fraction of a second of load."""
+        import json
+
+        from repro.cluster import sample_profile
+
+        payload = sample_profile().to_dict()
+        payload["duration"] = 0.1
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sample_profile_prints_json(self):
+        import json
+
+        code, text = self.collect(["cluster", "sample-profile"])
+        assert code == 0
+        payload = json.loads(text)
+        assert {t["name"] for t in payload["tenants"]} == {
+            "etl", "analytics", "dashboard"
+        }
+
+    def test_sample_profile_out_writes_file(self, tmp_path):
+        import json
+
+        target = tmp_path / "profile.json"
+        code, _ = self.collect(
+            ["cluster", "sample-profile", "--out", str(target)]
+        )
+        assert code == 0
+        assert json.loads(target.read_text())["policy"] == "fair"
+
+    def test_run_renders_tenant_table(self, tiny_profile):
+        code, text = self.collect(["cluster", "run", tiny_profile])
+        assert code == 0
+        assert "policy=fair" in text
+        for tenant in ("etl", "analytics", "dashboard"):
+            assert tenant in text
+
+    def test_run_json_is_a_report_payload(self, tiny_profile):
+        import json
+
+        code, text = self.collect(
+            ["cluster", "run", tiny_profile, "--json"]
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["policy"] == "fair"
+        assert payload["jobs"]
+
+    def test_policy_flag_switches_to_fifo(self, tiny_profile):
+        code, text = self.collect(
+            ["cluster", "run", tiny_profile, "--policy", "fifo"]
+        )
+        assert code == 0
+        assert "policy=fifo" in text
+
+    def test_trace_out_records_the_run(self, tiny_profile, tmp_path):
+        import json
+
+        trace = tmp_path / "cluster.jsonl"
+        code, _ = self.collect(
+            ["cluster", "run", tiny_profile, "--trace-out", str(trace)]
+        )
+        assert code == 0
+        kinds = set()
+        with open(trace) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("type") == "event":
+                    kinds.add(record.get("kind"))
+        assert {"cluster.start", "job.submitted", "cluster.finish"} <= kinds
+
+    def test_unreadable_profile_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, text = self.collect(["cluster", "run", str(bad)])
+        assert code == 1
+        assert "cannot load" in text
