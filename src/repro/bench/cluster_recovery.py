@@ -1,0 +1,117 @@
+"""Fault-recovery benchmark: kill a node mid-trace, measure the tax.
+
+The acceptance experiment for the cluster's fault-tolerance layer:
+draw one seeded traffic trace (the same 3-tenant mix as
+:mod:`repro.bench.cluster_load`) and run it twice under the fair-share
+policy with speculative execution enabled — once fault-free, once with
+a single ``kill_node`` fired mid-run.  Because the trace, the cost
+model and the fault plan are all seeded, every delta between the two
+reports is attributable to the recovery machinery: map-output loss
+re-execution through the shuffle window, retry backoff, straggler
+cloning onto the surviving nodes.
+
+The headline numbers are the makespan and interactive-p95 overhead
+ratios (faulted over fault-free) plus the exact recovery counters —
+``map_output_losses`` must be non-zero or the kill missed the shuffle
+window and the scenario is not exercising re-execution at all (the
+shape test below and ``repro bench check`` both gate on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.cluster.report import ClusterReport, percentile
+from repro.cluster.traffic import TrafficProfile, run_traffic, sample_profile
+from repro.faults import FaultEvent, FaultPlan
+
+VARIANTS = ("faultfree", "faulted")
+
+
+@dataclass
+class ClusterRecoveryResult:
+    """Fault-free vs faulted reports over one seeded traffic trace."""
+
+    profile: TrafficProfile
+    plan: FaultPlan
+    reports: Dict[str, ClusterReport] = field(default_factory=dict)
+
+    @property
+    def interactive_tenants(self) -> List[str]:
+        preempting = {
+            q.name for q in self.profile.queues if q.preempts
+        }
+        return sorted(
+            t.name for t in self.profile.tenants if t.queue in preempting
+        )
+
+    def interactive_p95(self, variant: str) -> float:
+        """Pooled p95 latency of every interactive tenant's jobs."""
+        report = self.reports[variant]
+        pooled = [
+            o.latency for o in report.completed
+            if o.tenant in self.interactive_tenants
+        ]
+        return percentile(pooled, 95)
+
+    @property
+    def makespan_overhead(self) -> float:
+        """Faulted makespan over fault-free — 1.0 = free recovery."""
+        base = self.reports["faultfree"].makespan
+        return self.reports["faulted"].makespan / base if base else 1.0
+
+    @property
+    def interactive_p95_overhead(self) -> float:
+        base = self.interactive_p95("faultfree")
+        faulted = self.interactive_p95("faulted")
+        return faulted / base if base > 0 else 1.0
+
+
+def run(
+    duration: float = 1.0,
+    seed: int = 20110401,
+    kill_time: float = 0.35,
+    kill_node: int = 1,
+    profile: Optional[TrafficProfile] = None,
+) -> ClusterRecoveryResult:
+    """Run the sample load fault-free and with one mid-run node kill."""
+    if profile is None:
+        profile = sample_profile()
+        profile.duration = duration
+        profile.seed = seed
+    profile.speculation = replace(profile.speculation, enabled=True)
+    plan = FaultPlan(
+        [FaultEvent("kill_node", node=kill_node, at_time=kill_time)],
+        seed=seed,
+    )
+    result = ClusterRecoveryResult(profile=profile, plan=plan)
+    result.reports["faultfree"] = run_traffic(profile, policy="fair")
+    result.reports["faulted"] = run_traffic(
+        profile, policy="fair", faults=plan,
+    )
+    return result
+
+
+def format_table(result: ClusterRecoveryResult) -> str:
+    lines = []
+    for variant in VARIANTS:
+        lines.append(f"== {variant} ==")
+        lines.append(result.reports[variant].render())
+        lines.append("")
+    faulted = result.reports["faulted"]
+    tenants = ", ".join(result.interactive_tenants) or "(none)"
+    lines.append(
+        f"makespan overhead (faulted/faultfree) = "
+        f"{result.makespan_overhead:.2f}x"
+    )
+    lines.append(
+        f"interactive p95 overhead ({tenants}) = "
+        f"{result.interactive_p95_overhead:.2f}x"
+    )
+    lines.append(
+        f"recovery: {faulted.map_output_losses} map output(s) lost and "
+        f"re-executed, {faulted.speculative_attempts} speculative "
+        f"attempt(s)"
+    )
+    return "\n".join(lines)

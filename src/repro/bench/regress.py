@@ -293,6 +293,27 @@ def _extract_cluster_load(result) -> Dict[str, float]:
     return out
 
 
+def _extract_cluster_recovery(result) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for variant, report in sorted(result.reports.items()):
+        out[f"time.makespan.{variant}"] = report.makespan
+        out[f"time.interactive_p95.{variant}"] = (
+            result.interactive_p95(variant)
+        )
+        out[f"count.completed.{variant}"] = len(report.completed)
+        out[f"count.rejected.{variant}"] = len(report.rejected)
+        out[f"count.failed.{variant}"] = len(report.failed)
+        out[f"count.speculative_attempts.{variant}"] = (
+            report.speculative_attempts
+        )
+    faulted = result.reports["faulted"]
+    out["count.map_output_losses"] = faulted.map_output_losses
+    # Oriented so higher = cheaper recovery (1.0 == a free node kill);
+    # a drop means the fault-tolerance machinery got more expensive.
+    out["ratio.recovery_efficiency"] = 1.0 / result.makespan_overhead
+    return out
+
+
 def _lazy(module: str):
     """Defer the scenario import so ``repro bench --help`` stays fast."""
 
@@ -375,6 +396,12 @@ _register(
     "cluster_load", "cluster_load", {"duration": 1.0, "seed": 20110401},
     _extract_cluster_load,
     "multi-tenant traffic: fair-share+preemption vs FIFO job latency",
+)
+_register(
+    "cluster_recovery", "cluster_recovery",
+    {"duration": 1.0, "seed": 20110401, "kill_time": 0.35, "kill_node": 1},
+    _extract_cluster_recovery,
+    "mid-run node kill: map-output re-execution + speculation overhead",
 )
 
 

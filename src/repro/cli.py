@@ -630,6 +630,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--gzip", action="store_true",
         help="gzip the --trace-out artifact (a .gz suffix implies this)",
     )
+    crun_cluster.add_argument(
+        "--speculate", action="store_true",
+        help=(
+            "enable cluster-level speculative execution (progress-based "
+            "straggler cloning) regardless of the profile's setting"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help=(
+            "journal every scheduling decision to this write-ahead log "
+            "(JSONL; .gz suffix gzips) for crash recovery via "
+            "'repro cluster resume'"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help=(
+            "tear the manager down after journaling N WAL records "
+            "(simulated crash at an exact record boundary; needs --wal)"
+        ),
+    )
+    cresume = cluster_sub.add_parser(
+        "resume",
+        help=(
+            "recover a crashed 'cluster run --wal' by verified "
+            "deterministic replay: rebuilds the run from the journal's "
+            "meta header, checks every surviving record, and carries on "
+            "to the report the uninterrupted run would have produced"
+        ),
+    )
+    cresume.add_argument(
+        "--wal", required=True, metavar="PATH",
+        help="the write-ahead log left behind by the crashed run",
+    )
+    cresume.add_argument(
+        "--wal-out", default=None, metavar="PATH",
+        help="journal the complete replay to a fresh WAL here",
+    )
+    cresume.add_argument(
+        "--json", action="store_true",
+        help="emit the structured report as JSON instead of the table",
+    )
     cprofile = cluster_sub.add_parser(
         "sample-profile",
         help="print the canonical 3-tenant traffic profile as JSON",
@@ -937,6 +980,9 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
 
     from repro.cluster import TrafficProfile, run_traffic, sample_profile
 
+    if args.cluster_command == "resume":
+        return _resume_cluster(args, out)
+
     if args.cluster_command == "sample-profile":
         payload = _json.dumps(
             sample_profile().to_dict(), indent=2, sort_keys=True
@@ -959,6 +1005,16 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
         profile = sample_profile()
     plan, ok = _load_plan(args.faults, out)
     if not ok:
+        return 1
+    if args.speculate:
+        from dataclasses import replace as _replace
+
+        profile.speculation = _replace(profile.speculation, enabled=True)
+    if args.crash_after is not None and not args.wal:
+        out("error: --crash-after needs --wal (nothing would survive)")
+        return 1
+    if args.wal and args.compare:
+        out("error: --wal journals a single run; drop --compare")
         return 1
 
     if args.compare:
@@ -998,10 +1054,35 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
             "policy": args.policy or profile.policy,
             "seed": profile.seed,
         })
+    wal = None
+    if args.wal:
+        from repro.cluster import ClusterWAL
+
+        try:
+            wal = ClusterWAL(path=args.wal, crash_after=args.crash_after)
+        except (OSError, ValueError) as exc:
+            out(f"error: cannot open WAL {args.wal}: {exc}")
+            return 1
     with contextlib.ExitStack() as stack:
         if recorder is not None:
             stack.enter_context(recorder.activate())
-        report = run_traffic(profile, policy=args.policy, faults=plan)
+        try:
+            report = run_traffic(
+                profile, policy=args.policy, faults=plan, wal=wal,
+            )
+        except Exception as exc:
+            from repro.cluster import SimulatedCrash
+
+            if not isinstance(exc, SimulatedCrash):
+                raise
+            out(f"simulated crash: {exc}")
+            out(
+                f"{len(wal.records)} record(s) journaled to {args.wal}; "
+                f"recover with: repro cluster resume --wal {args.wal}"
+            )
+            return 0
+    if args.wal and not args.json:
+        out(f"journaled {len(wal.records)} WAL record(s) to {args.wal}")
     if args.json:
         out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -1015,6 +1096,36 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
             out(f"error: cannot write flight recording: {exc}")
             return 1
         out(f"wrote flight recording to {args.trace_out}")
+    return 0 if not report.failed else 1
+
+
+def _resume_cluster(args, out: Callable[[str], None]) -> int:
+    """``repro cluster resume``: verified replay from a WAL."""
+    import json as _json
+
+    from repro.cluster import WalDivergence, resume_from_wal
+
+    try:
+        report, wal = resume_from_wal(args.wal, wal_out=args.wal_out)
+    except WalDivergence as exc:
+        out(f"error: {exc}")
+        return 1
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        out(f"error: cannot resume from {args.wal}: {exc}")
+        return 1
+    if not args.json:
+        for warning in wal.warnings:
+            out(f"warning: {warning}")
+        out(
+            f"resumed from {args.wal}: verified {wal.verified} journaled "
+            f"record(s), replay produced {len(wal.records)}"
+        )
+        if args.wal_out:
+            out(f"wrote complete replay WAL to {args.wal_out}")
+    if args.json:
+        out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        out(report.render())
     return 0 if not report.failed else 1
 
 

@@ -7,7 +7,13 @@ job every slot; this package is the production-shaped layer above it:
   tenants with fair-share weights, admission bounds and slot quotas,
 - :mod:`repro.cluster.manager` — the event-driven resource manager
   arbitrating one slot pool between concurrent jobs, with admission
-  control, hierarchical fair share, preemption and a FIFO baseline,
+  control (including deadline-aware shedding), hierarchical fair share,
+  preemption, speculative execution, map-output loss re-execution and
+  a FIFO baseline,
+- :mod:`repro.cluster.speculate` — progress-based straggler-cloning
+  policy knobs,
+- :mod:`repro.cluster.wal` — the write-ahead journal and crash-resume
+  replay (:func:`~repro.cluster.wal.resume_from_wal`),
 - :mod:`repro.cluster.traffic` — seeded open-loop Poisson traffic of
   mixed crawl/analytics/point-query jobs,
 - :mod:`repro.cluster.report` — per-tenant p50/p95/p99 job latency and
@@ -27,6 +33,7 @@ from repro.cluster.report import (
     TenantSummary,
     percentile,
 )
+from repro.cluster.speculate import SpeculationConfig
 from repro.cluster.traffic import (
     TrafficProfile,
     TrafficTenant,
@@ -36,23 +43,34 @@ from repro.cluster.traffic import (
     run_traffic,
     sample_profile,
 )
+from repro.cluster.wal import (
+    ClusterWAL,
+    SimulatedCrash,
+    WalDivergence,
+    resume_from_wal,
+)
 
 __all__ = [
     "ClusterManager",
     "ClusterPolicy",
     "ClusterReport",
+    "ClusterWAL",
     "JobOutcome",
     "JobRequest",
     "QueueConfig",
+    "SimulatedCrash",
+    "SpeculationConfig",
     "TenantConfig",
     "TenantSummary",
     "TrafficProfile",
     "TrafficTenant",
+    "WalDivergence",
     "build_filesystem",
     "fifo_variant",
     "generate_requests",
     "make_job",
     "percentile",
+    "resume_from_wal",
     "run_traffic",
     "sample_profile",
 ]

@@ -15,6 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.mapreduce.backoff import BackoffConfig
+
+from repro.cluster.speculate import SpeculationConfig
+
 
 @dataclass(frozen=True)
 class QueueConfig:
@@ -79,6 +83,11 @@ class ClusterPolicy:
     queues: List[QueueConfig] = field(default_factory=list)
     tenants: List[TenantConfig] = field(default_factory=list)
     policy: str = "fair"
+    #: cluster-level straggler cloning (disabled unless opted in)
+    speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
+    #: seeded exponential retry backoff for failed attempts; seed 0
+    #: defers to the cluster's own seed at run time
+    backoff: BackoffConfig = field(default_factory=BackoffConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -134,6 +143,8 @@ class ClusterPolicy:
             "policy": self.policy,
             "queues": [q.to_dict() for q in self.queues],
             "tenants": [t.to_dict() for t in self.tenants],
+            "speculation": self.speculation.to_dict(),
+            "backoff": self.backoff.to_dict(),
         }
 
     @classmethod
@@ -161,6 +172,10 @@ class ClusterPolicy:
             queues=queues,
             tenants=tenants,
             policy=data.get("policy", "fair"),
+            speculation=SpeculationConfig.from_dict(
+                data.get("speculation", {})
+            ),
+            backoff=BackoffConfig.from_dict(data.get("backoff", {})),
         )
 
 
@@ -170,4 +185,6 @@ def fifo_variant(policy: ClusterPolicy) -> ClusterPolicy:
         queues=list(policy.queues),
         tenants=list(policy.tenants),
         policy="fifo",
+        speculation=policy.speculation,
+        backoff=policy.backoff,
     )

@@ -14,54 +14,80 @@ needed:
 
 - **admission control** — each tenant has a bounded queue of admitted-
   but-not-started jobs; submissions beyond it are rejected immediately
-  (backpressure, surfaced as ``admission.reject`` events),
+  (backpressure, surfaced as ``admission.reject`` events), and jobs
+  with a deadline the calibrated cost model predicts they will miss are
+  *shed* at the door (``admission.shed``) instead of wasting slots,
 - **hierarchical fair share** — slots go to the most-underserved queue
   (running/capacity), then the most-underserved tenant within it
   (running/weight, respecting slot quotas), then the oldest job,
 - **preemption** — a queue marked ``preempts`` that is under its
   guaranteed share evicts the longest-remaining attempt from a
   ``preemptible`` queue; the evicted split re-queues through the retry
-  machinery *without* consuming a fault attempt,
+  machinery *without* consuming a fault attempt.  Speculative
+  duplicates are the preferred victims — killing a clone costs nothing,
+- **speculative execution** — progress-based straggler cloning against
+  per-queue completion quantiles (:mod:`repro.cluster.speculate`);
+  first finisher wins, the loser is killed, duplicates never touch the
+  original's retry budget,
 - **a FIFO mode** — strict arrival order, quotas and queues ignored:
   the Hadoop-default baseline the fair policy is measured against.
 
+Fault tolerance runs through the *entire* job timeline.  A completed
+map attempt's spilled output lives on the node that ran it; the job is
+vulnerable until its shuffle window closes (the time the largest reduce
+partition takes to cross the network — a lower bound on the reduce
+makespan, so fault-free finish times are unchanged).  A node death
+before then invalidates every committed output it held: the affected
+splits re-queue through the retry machinery (Hadoop semantics: output
+loss is the scheduler's problem, not the task's, so no retry budget is
+consumed) and an in-flight shuffle aborts and restarts when the re-run
+maps finish.  Failed attempts themselves relaunch after a seeded
+exponential backoff with jitter (``retry.backoff``), and every
+scheduling decision can be journaled to a :class:`~repro.cluster.wal.
+ClusterWAL` for crash recovery by verified deterministic replay.
+
 Everything flows through the ambient EventBus, so ``repro top`` and the
-trace exporters render multi-job runs with no extra plumbing.  Node
-deaths from a :class:`~repro.faults.FaultPlan` are handled exactly as
-in the single-job scheduler: running attempts on a dead node lose their
-work and re-queue with that node banned.
+trace exporters render multi-job runs with no extra plumbing.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hdfs.errors import FaultError
 from repro.hdfs.filesystem import FileSystem
+from repro.mapreduce.backoff import ExponentialBackoff
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
 from repro.mapreduce.output import CollectOutputFormat
-from repro.mapreduce.runner import JobRunner
+from repro.mapreduce.runner import JobRunner, estimate_pair_size
 from repro.mapreduce.scheduler import ScheduledTask, _Pending
 from repro.obs import Observability, current_obs
 from repro.sim.metrics import Metrics
 
 from repro.cluster.config import ClusterPolicy
-from repro.cluster.report import ClusterReport, JobOutcome
+from repro.cluster.report import ClusterReport, JobOutcome, percentile
+from repro.cluster.wal import ClusterWAL
 
 
 @dataclass(frozen=True)
 class JobRequest:
-    """One job submission: who wants what, and when."""
+    """One job submission: who wants what, and when.
+
+    ``deadline`` (seconds after arrival, None = none) arms deadline-
+    aware admission: the manager sheds the job up front if the cost
+    model predicts it cannot finish in time.
+    """
 
     job: Job
     tenant: str
     arrival: float
     request_id: int = 0
     kind: str = ""  # workload class label (crawl_scan / analytics / ...)
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -74,31 +100,49 @@ class _Running:
     node: int
     slot: int
     end: float
+    seq: int = 0
     payload: Optional[Tuple[list, Counters]] = None
-    alive: bool = True      # False once preempted / node died
+    alive: bool = True      # False once preempted / node died / killed
     faulted: bool = False   # attempt failed mid-read (FaultError)
+    speculative: bool = False
+    partner_seq: Optional[int] = None  # the other attempt in a race
 
 
 class _Execution:
-    """Mutable per-job state while a job is on the cluster."""
+    """Mutable per-job state while a job is on the cluster.
+
+    ``state`` walks ``mapping -> shuffling -> finished``; a node death
+    that destroys committed map output reverts ``shuffling`` back to
+    ``mapping`` (the shuffle aborts) until the lost splits re-run.
+    """
 
     def __init__(
-        self, request: JobRequest, queue: str, splits: List
+        self, request: JobRequest, queue: str, splits: List, eid: int
     ) -> None:
         self.request = request
         self.queue = queue
         self.splits = splits
+        self.eid = eid
         self.pending: List[_Pending] = [
             _Pending(i, 0) for i in range(len(splits))
         ]
         self.attempts_used = [0] * len(splits)
         self.payloads: Dict[int, Tuple[list, Counters]] = {}
+        #: which node holds each committed split's spilled map output
+        self.payload_nodes: Dict[int, int] = {}
         self.tasks: List[ScheduledTask] = []
         self.running = 0
         self.started = False
         self.start = 0.0
         self.preemptions = 0
         self.failed: Optional[str] = None
+        self.state = "mapping"
+        self.map_end = 0.0
+        self.shuffle_end = 0.0
+        self.shuffle_gen = 0  # bumped on every start/abort; stales heap entries
+        self.map_output_losses = 0
+        #: split indices that already have (or had) a speculative clone
+        self.speculated: Set[int] = set()
 
     @property
     def job(self) -> Job:
@@ -116,6 +160,9 @@ class _Execution:
             and len(self.payloads) == len(self.splits)
         )
 
+    def unfinished(self) -> bool:
+        return self.failed is None and self.state != "finished"
+
     def ready(self, now: float) -> List[_Pending]:
         if self.failed is not None:
             return []
@@ -132,6 +179,7 @@ class ClusterManager:
         obs: Optional[Observability] = None,
         faults=None,
         max_attempts: Optional[int] = None,
+        wal: Optional[ClusterWAL] = None,
     ) -> None:
         self.fs = fs
         self.policy = policy
@@ -140,6 +188,11 @@ class ClusterManager:
         self.faults = self.runner._injector()
         #: overrides every job's own max_attempts when set
         self.max_attempts = max_attempts
+        self.wal = wal
+        backoff = policy.backoff
+        if backoff.seed == 0:
+            backoff = replace(backoff, seed=fs.cluster.seed)
+        self.retry_backoff = ExponentialBackoff(backoff)
 
         cluster = fs.cluster
         self.free: List[Tuple[int, int]] = [
@@ -151,13 +204,25 @@ class ClusterManager:
         self.dead_nodes: set = set()
         self.running: Dict[int, _Running] = {}
         self._completions: List[Tuple[float, int]] = []
+        self._shuffles: List[Tuple[float, int, int]] = []  # (end, eid, gen)
         self._attempt_seq = 0
         self.executions: List[_Execution] = []
         self.outcomes: List[JobOutcome] = []
+        #: per-queue successful attempt durations (speculation samples)
+        self._durations: Dict[str, List[float]] = {}
+        #: committed job results, keyed by request_id (tests, repro.check)
+        self.job_counters: Dict[int, Counters] = {}
+        self.job_outputs: Dict[int, List[Tuple[object, object]]] = {}
         self.busy_slot_seconds = 0.0
         self.preemptions = 0
+        self.map_output_losses = 0
+        self.speculative_attempts = 0
         self.horizon = 0.0
         self.now = 0.0
+
+    def _wal_append(self, kind: str, /, **fields) -> None:
+        if self.wal is not None:
+            self.wal.append(kind, **fields)
 
     # -- public entry point --------------------------------------------
 
@@ -176,9 +241,11 @@ class ClusterManager:
         next_req = 0
         while True:
             # Everything due at the current instant, in causal order:
-            # faults fire, finished attempts release their slots, new
-            # jobs pass admission, under-served queues evict, then the
-            # freed/idle slots are assigned.
+            # completed shuffles commit (their data is safely across the
+            # network), faults fire, finished attempts release their
+            # slots, new jobs pass admission, under-served queues evict,
+            # then the freed/idle slots are assigned.
+            self._drain_shuffles(self.now)
             self._fire_faults(self.now)
             self._drain_completions(self.now)
             while (
@@ -195,17 +262,35 @@ class ClusterManager:
             # eagerly, so completions scheduled for this same instant
             # (zero-length attempts) re-run the loop without moving.
             self._prune_completions()
+            self._prune_shuffles()
             future = []
             if next_req < len(queue):
                 future.append(queue[next_req].arrival)
             if self._completions:
                 future.append(self._completions[0][0])
+            if self._shuffles:
+                future.append(self._shuffles[0][0])
             for execution in self.executions:
                 if execution.failed is not None:
                     continue
                 for p in execution.pending:
                     if p.ready > self.now:
                         future.append(p.ready)
+            if self.policy.speculation.enabled and self.free:
+                wake = self._next_speculation_time()
+                if wake is not None and wake > self.now:
+                    future.append(wake)
+            if self.faults is not None and (
+                next_req < len(queue)
+                or any(e.unfinished() for e in self.executions)
+            ):
+                # While work is outstanding, faults are timeline events
+                # of their own: they must land at their exact instants —
+                # through the shuffle and reduce phases included — not
+                # at whatever scheduling boundary follows.
+                next_fault = self.faults.next_time()
+                if next_fault is not None:
+                    future.append(next_fault)
             if not future:
                 if any(
                     e.failed is None and not e.done()
@@ -217,6 +302,7 @@ class ClusterManager:
                 break
             self.now = max(self.now, min(future))
             self.horizon = max(self.horizon, self.now)
+        self._flush_faults()
         report = ClusterReport(
             policy=self.policy.policy,
             outcomes=sorted(
@@ -226,6 +312,8 @@ class ClusterManager:
             total_slots=self.total_slots,
             busy_slot_seconds=self.busy_slot_seconds,
             preemptions=self.preemptions,
+            map_output_losses=self.map_output_losses,
+            speculative_attempts=self.speculative_attempts,
         )
         self.obs.emit(
             "cluster.finish", sim_time=self.horizon,
@@ -233,9 +321,20 @@ class ClusterManager:
             completed=len(report.completed),
             rejected=len(report.rejected),
             failed=len(report.failed),
+            shed=len(report.shed),
             makespan=self.horizon,
             utilization=report.utilization,
             preemptions=self.preemptions,
+            map_output_losses=self.map_output_losses,
+            speculative_attempts=self.speculative_attempts,
+        )
+        self._wal_append(
+            "cluster_finish", t=self.horizon, makespan=self.horizon,
+            completed=len(report.completed),
+            rejected=len(report.rejected),
+            failed=len(report.failed), shed=len(report.shed),
+            preemptions=self.preemptions,
+            map_output_losses=self.map_output_losses,
         )
         return report
 
@@ -261,6 +360,10 @@ class ClusterManager:
                 job=request.job.name, tenant=request.tenant, queue=queue,
                 queued=waiting, limit=tenant.max_queued,
             )
+            self._wal_append(
+                "reject", t=request.arrival, job=request.job.name,
+                tenant=request.tenant, queued=waiting,
+            )
             self.outcomes.append(JobOutcome(
                 request_id=request.request_id,
                 job_name=request.job.name,
@@ -275,13 +378,77 @@ class ClusterManager:
         splits = request.job.input_format.get_splits(
             self.fs, self.fs.cluster
         )
-        execution = _Execution(request, queue, splits)
+        if request.deadline is not None:
+            predicted = self._predict_latency(request, splits)
+            if predicted > request.deadline:
+                self.obs.emit(
+                    "admission.shed", sim_time=request.arrival,
+                    job=request.job.name, tenant=request.tenant,
+                    queue=queue, predicted=predicted,
+                    deadline=request.deadline,
+                )
+                self._wal_append(
+                    "shed", t=request.arrival, job=request.job.name,
+                    tenant=request.tenant, predicted=predicted,
+                    deadline=request.deadline,
+                )
+                self.outcomes.append(JobOutcome(
+                    request_id=request.request_id,
+                    job_name=request.job.name,
+                    tenant=request.tenant,
+                    queue=queue,
+                    kind=request.kind,
+                    arrival=request.arrival,
+                    status="shed",
+                    error=(
+                        f"predicted latency {predicted:.3f}s exceeds "
+                        f"deadline {request.deadline:.3f}s"
+                    ),
+                ))
+                return
+        execution = _Execution(request, queue, splits, len(self.executions))
         self.executions.append(execution)
         self.obs.emit(
             "admission.accept", sim_time=request.arrival,
             job=request.job.name, tenant=request.tenant, queue=queue,
             queued=waiting + 1, splits=len(splits),
         )
+        self._wal_append(
+            "admit", t=request.arrival, job=request.job.name,
+            tenant=request.tenant, queue=queue, splits=len(splits),
+        )
+
+    def _predict_latency(self, request: JobRequest, splits: List) -> float:
+        """Cost-model estimate of the job's completion latency.
+
+        Map work is charged at the disk's sequential rate plus one seek
+        per split, spread over the slots the tenant's queue can expect
+        (its capacity share under fair scheduling, the whole pool under
+        FIFO), behind the queue's current pending backlog.  Deliberately
+        conservative-simple: shedding must be cheap, deterministic and
+        explainable — not a second scheduler.
+        """
+        cluster = self.fs.cluster
+        disk = cluster.disk
+
+        def cost(split) -> float:
+            return split.length / disk.bytes_per_sec + disk.seek_seconds
+
+        work = sum(cost(split) for split in splits)
+        queue = self.policy.tenant(request.tenant).queue
+        live = max(1, self._live_slots())
+        if self.policy.policy == "fair":
+            share = self.policy.queue(queue).capacity
+            slots = max(1, math.floor(share * live))
+        else:
+            slots = live
+        backlog = 0.0
+        for execution in self.executions:
+            if not execution.unfinished() or execution.queue != queue:
+                continue
+            for pending in execution.pending:
+                backlog += cost(execution.splits[pending.index])
+        return (backlog + work) / slots + cluster.job_overhead_seconds
 
     # -- faults / node loss --------------------------------------------
 
@@ -299,6 +466,27 @@ class ClusterManager:
         for node in self.faults.drain_retired():
             self._retire_node(node)
 
+    def _flush_faults(self) -> None:
+        """End of run: fire every fault due inside the job timeline
+        (node deaths during the last reduce still make the record) and
+        report the truly out-of-range leftovers instead of dropping
+        them silently."""
+        if self.faults is None:
+            return
+        self.faults.advance_time(self.horizon)
+        self._handle_faults()
+        for event in self.faults.pending_events():
+            attrs = {"fault": event.kind}
+            if event.at_time is not None:
+                attrs["at_time"] = event.at_time
+                attrs["reason"] = "scheduled beyond the end of the run"
+            else:
+                attrs["at_task"] = event.at_task
+                attrs["reason"] = "beyond the last task boundary"
+            self.obs.emit(
+                "fault.ignored", sim_time=self.horizon, **attrs
+            )
+
     def _retire_node(self, node: int) -> None:
         self.dead_nodes.add(node)
         self.free = [(n, s) for n, s in self.free if n != node]
@@ -306,6 +494,7 @@ class ClusterManager:
     def _node_lost(self, node: int, died_at: float) -> None:
         self._retire_node(node)
         self.obs.emit("node.lost", sim_time=died_at, node=node)
+        self._wal_append("node_lost", t=died_at, node=node)
         for running in list(self.running.values()):
             if not running.alive or running.node != node:
                 continue
@@ -315,18 +504,86 @@ class ClusterManager:
             self.obs.registry.counter(
                 "task.attempts", outcome="node_lost"
             ).inc()
+            split_label = execution.splits[running.pending.index].label
             self.obs.emit(
                 "task.finish", sim_time=died_at, kind="map",
-                split=execution.splits[running.pending.index].label,
+                split=split_label,
                 node=node, slot=running.slot,
                 attempt=running.pending.attempt, outcome="lost",
                 error="node died", duration=running.task.duration,
                 job=execution.job.name, tenant=execution.tenant,
+                speculative=running.speculative,
             )
+            self._wal_append(
+                "complete", t=died_at, job=execution.job.name,
+                split=split_label, node=node, outcome="lost",
+            )
+            if self._live_partner(running) is not None:
+                # The racing attempt on another node still covers this
+                # split; losing one contender costs nothing further.
+                if running.speculative:
+                    execution.speculated.discard(running.pending.index)
+                continue
             self._requeue(
                 execution, running.pending, died_at,
-                frozenset({node}), "node died", consume_attempt=True,
+                frozenset({node}), "node died",
+                consume_attempt=not running.speculative,
             )
+        self._invalidate_outputs(node, died_at)
+
+    def _invalidate_outputs(self, node: int, died_at: float) -> None:
+        """Durable-output bookkeeping: a dead node takes every spilled
+        map output it held.  Jobs whose shuffle has not completed lose
+        those splits and re-run them (no retry budget consumed — output
+        loss is not the task's failure); an in-flight shuffle aborts."""
+        for execution in self.executions:
+            if not execution.unfinished():
+                continue
+            lost = sorted(
+                index
+                for index, holder in execution.payload_nodes.items()
+                if holder == node and index in execution.payloads
+            )
+            if not lost:
+                continue
+            if execution.state == "shuffling":
+                execution.state = "mapping"
+                execution.shuffle_gen += 1
+                self.obs.emit(
+                    "shuffle.abort", sim_time=died_at,
+                    job=execution.job.name, tenant=execution.tenant,
+                    node=node, lost_splits=len(lost),
+                )
+                self._wal_append(
+                    "shuffle_abort", t=died_at, job=execution.job.name,
+                    node=node,
+                )
+            for index in lost:
+                del execution.payloads[index]
+                del execution.payload_nodes[index]
+                execution.map_output_losses += 1
+                self.map_output_losses += 1
+                split_label = execution.splits[index].label
+                self.obs.registry.counter(
+                    "cluster.mapoutput.lost"
+                ).inc()
+                self.obs.emit(
+                    "mapoutput.lost", sim_time=died_at,
+                    split=split_label, node=node,
+                    job=execution.job.name, tenant=execution.tenant,
+                )
+                self._wal_append(
+                    "output_lost", t=died_at, job=execution.job.name,
+                    split=split_label, node=node,
+                )
+                self._requeue(
+                    execution,
+                    _Pending(
+                        index, execution.attempts_used[index], died_at,
+                    ),
+                    died_at, frozenset({node}), "map output lost",
+                    consume_attempt=False,
+                )
 
     # -- attempt lifecycle ---------------------------------------------
 
@@ -341,6 +598,15 @@ class ClusterManager:
         task.duration = max(0.0, at - task.start)
         self.busy_slot_seconds += task.duration
 
+    def _live_partner(self, running: _Running) -> Optional[_Running]:
+        """The other attempt racing this one, if it is still alive."""
+        if running.partner_seq is None:
+            return None
+        partner = self.running.get(running.partner_seq)
+        if partner is not None and partner.alive:
+            return partner
+        return None
+
     def _requeue(
         self,
         execution: _Execution,
@@ -352,9 +618,10 @@ class ClusterManager:
     ) -> None:
         index = pending.index
         if not consume_attempt:
-            # A preempted attempt is the scheduler's fault, not the
-            # task's: give the attempt back so eviction can never
-            # starve a job into failed-job territory.
+            # A preempted attempt (or a lost map output) is the
+            # scheduler's fault, not the task's: give the attempt back
+            # so eviction can never starve a job into failed-job
+            # territory.
             execution.attempts_used[index] -= 1
         limit = max(
             1,
@@ -371,12 +638,37 @@ class ClusterManager:
                 now,
             )
             return
+        delay = 0.0
+        if consume_attempt:
+            # A genuine failure backs off before relaunching — seeded
+            # exponential delay with jitter so simultaneous failures
+            # spread out instead of re-colliding.
+            label = (
+                f"{execution.job.name}:"
+                f"{execution.splits[index].label or index}"
+            )
+            delay = self.retry_backoff.delay(
+                label, max(0, execution.attempts_used[index] - 1)
+            )
+            if delay > 0:
+                self.obs.emit(
+                    "retry.backoff", sim_time=now,
+                    job=execution.job.name,
+                    split=execution.splits[index].label or str(index),
+                    attempt=execution.attempts_used[index],
+                    delay=delay, ready=now + delay,
+                )
         execution.pending.append(_Pending(
             index,
             execution.attempts_used[index],
-            now,
+            now + delay,
             pending.banned | banned,
         ))
+        self._wal_append(
+            "requeue", t=now, job=execution.job.name,
+            split=execution.splits[index].label or str(index),
+            ready=now + delay, attempt=execution.attempts_used[index],
+        )
 
     def _fail_job(
         self, execution: _Execution, error: str, now: float
@@ -387,6 +679,9 @@ class ClusterManager:
             "job.finish", sim_time=now,
             job=execution.job.name, tenant=execution.tenant,
             queue=execution.queue, outcome="failed", error=error,
+        )
+        self._wal_append(
+            "job_failed", t=now, job=execution.job.name, error=error,
         )
         self.outcomes.append(JobOutcome(
             request_id=execution.request.request_id,
@@ -438,31 +733,177 @@ class ClusterManager:
             self.obs.registry.counter(
                 "task.attempts", outcome=outcome
             ).inc()
+            split_label = execution.splits[running.pending.index].label
             finish_attrs = dict(
                 kind="map",
-                split=execution.splits[running.pending.index].label,
+                split=split_label,
                 node=running.node, slot=running.slot,
                 attempt=running.pending.attempt, outcome=outcome,
                 duration=running.task.duration,
                 job=execution.job.name, tenant=execution.tenant,
             )
+            if running.speculative:
+                finish_attrs["speculative"] = True
             if running.faulted:
                 finish_attrs["error"] = running.task.error
             self.obs.emit("task.finish", sim_time=end, **finish_attrs)
+            self._wal_append(
+                "complete", t=end, job=execution.job.name,
+                split=split_label, node=running.node, outcome=outcome,
+            )
+            partner = self._live_partner(running)
             if running.faulted:
+                if running.speculative:
+                    self.obs.registry.counter(
+                        "scheduler.speculation", outcome="failed"
+                    ).inc()
+                if partner is not None:
+                    # The other attempt still covers the split; this
+                    # failure costs nothing further.
+                    if running.speculative:
+                        execution.speculated.discard(running.pending.index)
+                    continue
                 self._requeue(
                     execution, running.pending, end,
                     frozenset({running.node}),
                     running.task.error or "fault",
-                    consume_attempt=True,
+                    consume_attempt=not running.speculative,
                 )
             else:
                 execution.payloads[running.pending.index] = running.payload
+                execution.payload_nodes[running.pending.index] = running.node
+                self._durations.setdefault(
+                    execution.queue, []
+                ).append(running.task.duration)
+                if partner is not None:
+                    self._lose_race(partner, end, winner=running)
             if execution.done():
-                self._finalize(execution, end)
+                self._start_shuffle(execution, end)
+
+    def _lose_race(
+        self, loser: _Running, end: float, winner: _Running
+    ) -> None:
+        """First finisher wins: the moment the winner's payload commits,
+        the racing attempt is killed (not failed — no budget, no
+        requeue) and its slot returns to the pool."""
+        loser.alive = False
+        task = loser.task
+        task.killed = True
+        task.duration = max(0.0, end - task.start)
+        self.busy_slot_seconds += task.duration
+        execution = loser.execution
+        execution.running -= 1
+        if loser.node not in self.dead_nodes:
+            self.free.append((loser.node, loser.slot))
+        outcome = "won" if winner.speculative else "lost"
+        self.obs.registry.counter("task.attempts", outcome="killed").inc()
+        self.obs.registry.counter(
+            "scheduler.speculation", outcome=outcome
+        ).inc()
+        split_label = execution.splits[loser.pending.index].label
+        self.obs.emit(
+            "task.finish", sim_time=end, kind="map",
+            split=split_label, node=loser.node, slot=loser.slot,
+            attempt=loser.pending.attempt, outcome="killed",
+            duration=task.duration, job=execution.job.name,
+            tenant=execution.tenant, speculative=loser.speculative,
+        )
+        self.obs.emit(
+            "scheduler.speculation", sim_time=end,
+            split=split_label, job=execution.job.name,
+            tenant=execution.tenant, outcome=outcome,
+            winner_node=winner.node, loser_node=loser.node,
+            saved=max(0.0, loser.end - end),
+        )
+        self._wal_append(
+            "complete", t=end, job=execution.job.name,
+            split=split_label, node=loser.node, outcome="killed",
+        )
+
+    # -- shuffle window -------------------------------------------------
+
+    def _shuffle_window(self, execution: _Execution) -> float:
+        """How long the job's map outputs stay vulnerable after the last
+        map finishes: the time the largest reduce partition takes to
+        cross the network.  Each reduce task charges at least its own
+        partition's shuffle time, so this is a lower bound on the reduce
+        makespan — the fault-free timeline is unchanged."""
+        job = execution.job
+        if job.is_map_only or job.num_reducers <= 0:
+            return 0.0
+        rate = self.fs.cluster.network.shuffle_bytes_per_sec
+        if rate <= 0:
+            return 0.0
+        partitions = max(job.num_reducers, 1)
+        per_partition = [0] * partitions
+        for payload, _counters in execution.payloads.values():
+            for index, partition in enumerate(payload):
+                per_partition[index] += sum(
+                    estimate_pair_size(key, value)
+                    for key, value in partition
+                )
+        return max(per_partition) / rate
+
+    def _start_shuffle(self, execution: _Execution, map_end: float) -> None:
+        """All splits committed: open the shuffle window.  The job's
+        output is durable only once the window closes; until then a node
+        death can claw back this job's map outputs."""
+        execution.map_end = map_end
+        window = self._shuffle_window(execution)
+        if window <= 0.0:
+            self._finalize(execution, map_end)
+            return
+        execution.state = "shuffling"
+        execution.shuffle_gen += 1
+        execution.shuffle_end = map_end + window
+        heapq.heappush(
+            self._shuffles,
+            (execution.shuffle_end, execution.eid, execution.shuffle_gen),
+        )
+        self.obs.emit(
+            "shuffle.start", sim_time=map_end,
+            job=execution.job.name, tenant=execution.tenant,
+            window=window, end=execution.shuffle_end,
+            partitions=max(execution.job.num_reducers, 1),
+        )
+        self._wal_append(
+            "shuffle_start", t=map_end, job=execution.job.name,
+            end=execution.shuffle_end,
+        )
+
+    def _prune_shuffles(self) -> None:
+        while self._shuffles:
+            _end, eid, gen = self._shuffles[0]
+            execution = self.executions[eid]
+            if (
+                execution.failed is None
+                and execution.state == "shuffling"
+                and execution.shuffle_gen == gen
+            ):
+                return
+            heapq.heappop(self._shuffles)
+
+    def _drain_shuffles(self, upto: float) -> None:
+        while self._shuffles and self._shuffles[0][0] <= upto:
+            end, eid, gen = heapq.heappop(self._shuffles)
+            execution = self.executions[eid]
+            if (
+                execution.failed is not None
+                or execution.state != "shuffling"
+                or execution.shuffle_gen != gen
+            ):
+                continue  # aborted (and possibly restarted) since
+            self.obs.emit(
+                "shuffle.finish", sim_time=end,
+                job=execution.job.name, tenant=execution.tenant,
+            )
+            self._finalize(execution, execution.map_end)
 
     def _finalize(self, execution: _Execution, map_end: float) -> None:
-        """All splits finished: run shuffle/sort/reduce and commit."""
+        """Shuffle complete: run sort/reduce and commit the job.  From
+        here the job is immune to node deaths — its inputs are across
+        the network."""
+        execution.state = "finished"
         job = execution.job
         counters = Counters()
         map_outputs = []
@@ -471,8 +912,10 @@ class ClusterManager:
             map_outputs.append(partitions)
             counters.merge(task_counters)
         output_format = job.output_format
+        collect = None
         if output_format is None:
-            output_format = CollectOutputFormat()
+            collect = CollectOutputFormat()
+            output_format = collect
         reduce_makespan, _ = self.runner.run_reduce_phase(
             job, map_outputs, output_format, counters, map_end
         )
@@ -481,8 +924,12 @@ class ClusterManager:
             + self.fs.cluster.job_overhead_seconds
         )
         self.horizon = max(self.horizon, finish)
+        request_id = execution.request.request_id
+        self.job_counters[request_id] = counters
+        if collect is not None:
+            self.job_outputs[request_id] = collect.collected
         outcome = JobOutcome(
-            request_id=execution.request.request_id,
+            request_id=request_id,
             job_name=job.name,
             tenant=execution.tenant,
             queue=execution.queue,
@@ -503,6 +950,9 @@ class ClusterManager:
             outcome="completed", latency=outcome.latency,
             wait=outcome.wait, preemptions=execution.preemptions,
             attempts=len(execution.tasks),
+        )
+        self._wal_append(
+            "job_complete", t=finish, job=job.name, finish=finish,
         )
 
     # -- preemption -----------------------------------------------------
@@ -552,10 +1002,14 @@ class ClusterManager:
         ]
         if not candidates:
             return None
-        # The attempt with the most remaining work has the least sunk
-        # cost per reclaimed second; ties break on placement for
-        # determinism.
-        return max(candidates, key=lambda r: (r.end, -r.node, -r.slot))
+        # Speculative duplicates first: killing a clone reclaims a slot
+        # at zero cost (the original keeps running).  Then the attempt
+        # with the most remaining work — least sunk cost per reclaimed
+        # second; ties break on placement for determinism.
+        return max(
+            candidates,
+            key=lambda r: (r.speculative, r.end, -r.node, -r.slot),
+        )
 
     def _preempt_one(
         self, running: _Running, now: float, by_queue: str
@@ -580,14 +1034,29 @@ class ClusterManager:
             attempt=running.pending.attempt, outcome="preempted",
             duration=running.task.duration,
             job=execution.job.name, tenant=execution.tenant,
+            speculative=running.speculative,
         )
         self.obs.emit(
             "task.preempted", sim_time=now,
             split=split.label, node=running.node, slot=running.slot,
             job=execution.job.name, tenant=execution.tenant,
             queue=execution.queue, by_queue=by_queue,
-            ran=running.task.duration,
+            ran=running.task.duration, speculative=running.speculative,
         )
+        self._wal_append(
+            "preempt", t=now, job=execution.job.name, split=split.label,
+            node=running.node, slot=running.slot,
+            speculative=running.speculative,
+        )
+        if running.speculative:
+            # Evicting a clone must not touch the original attempt's
+            # retry budget — the original is still running; the split
+            # may be re-cloned later if it keeps straggling.
+            execution.speculated.discard(running.pending.index)
+            self.obs.registry.counter(
+                "scheduler.speculation", outcome="preempted"
+            ).inc()
+            return
         self._requeue(
             execution, running.pending, now, frozenset(),
             "preempted", consume_attempt=False,
@@ -605,6 +1074,8 @@ class ClusterManager:
             execution, pending, node, slot, local = placement
             self._launch(now, execution, pending, node, slot, local)
             launched = True
+        if self.policy.speculation.enabled and self.free:
+            self._speculate(now)
         return launched
 
     def _select(self, now: float):
@@ -747,6 +1218,26 @@ class ClusterManager:
             attempt=pending.attempt, placement=placement,
             job=job.name, tenant=execution.tenant, queue=execution.queue,
         )
+        self._wal_append(
+            "launch", t=now, job=job.name, split=split.label,
+            node=node, slot=slot, attempt=pending.attempt,
+        )
+        self._execute_attempt(now, execution, pending, node, slot, local)
+
+    def _execute_attempt(
+        self,
+        now: float,
+        execution: _Execution,
+        pending: _Pending,
+        node: int,
+        slot: int,
+        local: bool,
+        speculative: bool = False,
+        partner_seq: Optional[int] = None,
+    ) -> _Running:
+        """Run one attempt eagerly and register its completion event."""
+        job = execution.job
+        split = execution.splits[pending.index]
         faulted = False
         payload = None
         try:
@@ -764,6 +1255,7 @@ class ClusterManager:
             split, node, now, duration, metrics, local,
             attempt=pending.attempt, failed=faulted, error=error,
             split_index=pending.index, slot=slot,
+            speculative=speculative,
         )
         execution.tasks.append(task)
         execution.running += 1
@@ -778,10 +1270,178 @@ class ClusterManager:
             node=node,
             slot=slot,
             end=now + duration,
+            seq=self._attempt_seq,
             payload=payload,
             faulted=faulted,
+            speculative=speculative,
+            partner_seq=partner_seq,
         )
         self.running[self._attempt_seq] = running
         heapq.heappush(
             self._completions, (now + duration, self._attempt_seq)
         )
+        return running
+
+    # -- speculation ----------------------------------------------------
+
+    def _next_speculation_time(self) -> Optional[float]:
+        """Earliest instant a running attempt crosses the straggler
+        threshold.  Without this the event loop would only notice a
+        straggler at the next natural event — which in a quiet cluster
+        is the straggler's own completion, too late to help."""
+        cfg = self.policy.speculation
+        wake = None
+        for running in self.running.values():
+            if not running.alive or running.speculative:
+                continue
+            if self._live_partner(running) is not None:
+                continue
+            execution = running.execution
+            if execution.failed is not None:
+                continue
+            if running.pending.index in execution.speculated:
+                continue
+            samples = self._durations.get(execution.queue, ())
+            if len(samples) < cfg.min_samples:
+                continue
+            typical = percentile(samples, cfg.quantile * 100)
+            if typical <= 0:
+                continue
+            threshold = running.task.start + cfg.slowdown * typical
+            if wake is None or threshold < wake:
+                wake = threshold
+        return wake
+
+    def _speculate(self, now: float) -> None:
+        """Clone stragglers onto otherwise-idle slots.
+
+        A running original attempt is a straggler once it has been
+        running longer than ``slowdown`` times its queue's ``quantile``
+        completion duration (progress-based detection — the manager
+        never peeks at an attempt's predetermined end).  Worst straggler
+        first; each clone is charged to the owning tenant's fair share
+        and quota, and never consumes the original's retry budget.
+        """
+        cfg = self.policy.speculation
+        stragglers = []
+        for seq in sorted(self.running):
+            running = self.running[seq]
+            if not running.alive or running.speculative:
+                continue
+            if self._live_partner(running) is not None:
+                continue
+            execution = running.execution
+            if execution.failed is not None:
+                continue
+            if running.pending.index in execution.speculated:
+                continue
+            samples = self._durations.get(execution.queue, ())
+            if len(samples) < cfg.min_samples:
+                continue
+            typical = percentile(samples, cfg.quantile * 100)
+            elapsed = now - running.task.start
+            # >= so the threshold-crossing wake-up itself qualifies
+            if typical <= 0 or elapsed < cfg.slowdown * typical:
+                continue
+            stragglers.append((-elapsed, seq, running))
+        stragglers.sort(key=lambda item: (item[0], item[1]))
+        for _neg_elapsed, _seq, original in stragglers:
+            if not self.free:
+                break
+            if not original.alive:
+                continue
+            tenant = self.policy.tenant(original.execution.tenant)
+            if tenant.max_running_slots > 0:
+                in_use = sum(
+                    1 for r in self.running.values()
+                    if r.alive and r.execution.tenant == tenant.name
+                )
+                if in_use >= tenant.max_running_slots:
+                    continue
+            banned = original.pending.banned | frozenset({original.node})
+            split = original.execution.splits[original.pending.index]
+            placed = None
+            for node, slot in sorted(self.free):
+                if node in banned:
+                    continue
+                if node in split.locations:
+                    placed = (node, slot, True)
+                    break
+            if placed is None:
+                for node, slot in sorted(self.free):
+                    if node in banned:
+                        continue
+                    placed = (node, slot, False)
+                    break
+            if placed is None:
+                continue
+            self._launch_speculative(now, original, *placed)
+
+    def _launch_speculative(
+        self,
+        now: float,
+        original: _Running,
+        node: int,
+        slot: int,
+        local: bool,
+    ) -> None:
+        execution = original.execution
+        index = original.pending.index
+        split = execution.splits[index]
+        self.free.remove((node, slot))
+        execution.speculated.add(index)
+        if self.faults is not None:
+            self.faults.on_task_start()
+            self._handle_faults()
+            if node in self.dead_nodes or self.faults.is_dead(node):
+                # The boundary fault took the chosen node; the slot
+                # died with it and the clone never starts.
+                execution.speculated.discard(index)
+                return
+            if (
+                not original.alive
+                or execution.failed is not None
+                or index in execution.payloads
+            ):
+                # The same fault resolved the original (or the job);
+                # nothing left to race.
+                execution.speculated.discard(index)
+                self.free.append((node, slot))
+                return
+        pending = _Pending(
+            index, original.pending.attempt, now,
+            original.pending.banned | frozenset({original.node}),
+        )
+        self.speculative_attempts += 1
+        self.obs.registry.counter(
+            "scheduler.speculation", outcome="launched"
+        ).inc()
+        self.obs.emit(
+            "task.speculative", sim_time=now, split=split.label,
+            node=node, slot=slot, victim_node=original.node,
+            elapsed=now - original.task.start,
+            job=execution.job.name, tenant=execution.tenant,
+            queue=execution.queue,
+        )
+        placement = "local" if local else "remote"
+        self.obs.registry.counter(
+            "scheduler.assignments", placement=placement
+        ).inc()
+        self.obs.emit(
+            "task.start", sim_time=now, kind="map",
+            split=split.label, node=node, slot=slot,
+            attempt=pending.attempt, placement=placement,
+            speculative=True,
+            job=execution.job.name, tenant=execution.tenant,
+            queue=execution.queue,
+        )
+        self._wal_append(
+            "launch", t=now, job=execution.job.name, split=split.label,
+            node=node, slot=slot, attempt=pending.attempt,
+            speculative=True,
+        )
+        duplicate = self._execute_attempt(
+            now, execution, pending, node, slot, local,
+            speculative=True, partner_seq=original.seq,
+        )
+        original.partner_seq = duplicate.seq

@@ -37,7 +37,7 @@ class JobOutcome:
     queue: str
     kind: str = ""
     arrival: float = 0.0
-    status: str = "completed"   # completed | rejected | failed
+    status: str = "completed"   # completed | rejected | failed | shed
     start: float = 0.0          # first task launch
     finish: float = 0.0         # output committed
     map_makespan: float = 0.0
@@ -89,6 +89,7 @@ class TenantSummary:
     completed: int = 0
     rejected: int = 0
     failed: int = 0
+    shed: int = 0               # declined at admission: deadline at risk
     preemptions: int = 0
     latencies: List[float] = field(default_factory=list)
     waits: List[float] = field(default_factory=list)
@@ -117,6 +118,7 @@ class TenantSummary:
             "completed": self.completed,
             "rejected": self.rejected,
             "failed": self.failed,
+            "shed": self.shed,
             "preemptions": self.preemptions,
             "p50": self.p50,
             "p95": self.p95,
@@ -135,6 +137,8 @@ class ClusterReport:
     total_slots: int
     busy_slot_seconds: float
     preemptions: int = 0
+    map_output_losses: int = 0  # committed outputs lost to node deaths
+    speculative_attempts: int = 0
 
     @property
     def utilization(self) -> float:
@@ -160,6 +164,10 @@ class ClusterReport:
     def failed(self) -> List[JobOutcome]:
         return [o for o in self.outcomes if o.status == "failed"]
 
+    @property
+    def shed(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if o.status == "shed"]
+
     def tenant_summaries(self) -> Dict[str, TenantSummary]:
         summaries: Dict[str, TenantSummary] = {}
         for outcome in self.outcomes:
@@ -175,6 +183,8 @@ class ClusterReport:
                 summary.waits.append(outcome.wait)
             elif outcome.status == "rejected":
                 summary.rejected += 1
+            elif outcome.status == "shed":
+                summary.shed += 1
             else:
                 summary.failed += 1
         return dict(sorted(summaries.items()))
@@ -190,6 +200,8 @@ class ClusterReport:
             "busy_slot_seconds": self.busy_slot_seconds,
             "utilization": self.utilization,
             "preemptions": self.preemptions,
+            "map_output_losses": self.map_output_losses,
+            "speculative_attempts": self.speculative_attempts,
             "tenants": {
                 name: s.to_dict()
                 for name, s in self.tenant_summaries().items()
@@ -207,13 +219,20 @@ class ClusterReport:
             f"preemptions={self.preemptions}",
             "",
             f"{'tenant':<12}{'queue':<12}{'sub':>5}{'done':>6}"
-            f"{'rej':>5}{'fail':>5}{'p50(s)':>10}{'p95(s)':>10}"
+            f"{'rej':>5}{'shed':>5}{'fail':>5}{'p50(s)':>10}{'p95(s)':>10}"
             f"{'p99(s)':>10}{'wait(s)':>10}",
         ]
         for name, s in self.tenant_summaries().items():
             lines.append(
                 f"{name:<12}{s.queue:<12}{s.submitted:>5}{s.completed:>6}"
-                f"{s.rejected:>5}{s.failed:>5}{s.p50:>10.3f}{s.p95:>10.3f}"
+                f"{s.rejected:>5}{s.shed:>5}{s.failed:>5}"
+                f"{s.p50:>10.3f}{s.p95:>10.3f}"
                 f"{s.p99:>10.3f}{s.mean_wait:>10.3f}"
+            )
+        if self.map_output_losses or self.speculative_attempts:
+            lines.append("")
+            lines.append(
+                f"recovery: map outputs lost={self.map_output_losses}  "
+                f"speculative attempts={self.speculative_attempts}"
             )
         return "\n".join(lines)

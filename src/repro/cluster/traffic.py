@@ -48,6 +48,9 @@ from repro.workloads.micro import micro_records, micro_schema
 from repro.cluster.config import ClusterPolicy, QueueConfig, TenantConfig
 from repro.cluster.manager import ClusterManager, JobRequest
 from repro.cluster.report import ClusterReport
+from repro.cluster.speculate import SpeculationConfig
+from repro.cluster.wal import WAL_VERSION, ClusterWAL
+from repro.mapreduce.backoff import BackoffConfig
 
 CRAWL_SEQ = "/cluster/crawl-seq"
 MICRO_CIF = "/cluster/micro-cif"
@@ -69,6 +72,9 @@ class TrafficTenant:
     weight: float = 1.0
     max_queued: int = 8
     max_running_slots: int = 0
+    #: per-job completion deadline in seconds after arrival; jobs the
+    #: cost model predicts will miss it are shed at admission
+    deadline: Optional[float] = None
 
     def tenant_config(self) -> TenantConfig:
         return TenantConfig(
@@ -98,12 +104,18 @@ class TrafficProfile:
     })
     queues: List[QueueConfig] = field(default_factory=list)
     tenants: List[TrafficTenant] = field(default_factory=list)
+    speculation: SpeculationConfig = field(
+        default_factory=SpeculationConfig
+    )
+    backoff: BackoffConfig = field(default_factory=BackoffConfig)
 
     def cluster_policy(self, policy: Optional[str] = None) -> ClusterPolicy:
         return ClusterPolicy(
             queues=list(self.queues),
             tenants=[t.tenant_config() for t in self.tenants],
             policy=policy or self.policy,
+            speculation=self.speculation,
+            backoff=self.backoff,
         )
 
     # -- (de)serialization ---------------------------------------------
@@ -127,9 +139,16 @@ class TrafficProfile:
                     "weight": t.weight,
                     "max_queued": t.max_queued,
                     "max_running_slots": t.max_running_slots,
+                    **(
+                        {"deadline": t.deadline}
+                        if t.deadline is not None
+                        else {}
+                    ),
                 }
                 for t in self.tenants
             ],
+            "speculation": self.speculation.to_dict(),
+            "backoff": self.backoff.to_dict(),
         }
 
     @classmethod
@@ -156,6 +175,11 @@ class TrafficProfile:
                 weight=float(t.get("weight", 1.0)),
                 max_queued=int(t.get("max_queued", 8)),
                 max_running_slots=int(t.get("max_running_slots", 0)),
+                deadline=(
+                    float(t["deadline"])
+                    if t.get("deadline") is not None
+                    else None
+                ),
             )
             for t in data.get("tenants", [])
         ] or base.tenants
@@ -180,6 +204,10 @@ class TrafficProfile:
             datasets=datasets,
             queues=queues,
             tenants=tenants,
+            speculation=SpeculationConfig.from_dict(
+                data.get("speculation", {})
+            ),
+            backoff=BackoffConfig.from_dict(data.get("backoff", {})),
         )
 
     @classmethod
@@ -295,6 +323,7 @@ def generate_requests(profile: TrafficProfile) -> List[JobRequest]:
             drawn.append((t, tenant.name, kind, index))
             index += 1
     drawn.sort(key=lambda item: (item[0], item[1], item[3]))
+    deadlines = {t.name: t.deadline for t in profile.tenants}
     return [
         JobRequest(
             job=make_job(kind, tenant, index),
@@ -302,6 +331,7 @@ def generate_requests(profile: TrafficProfile) -> List[JobRequest]:
             arrival=arrival,
             request_id=request_id,
             kind=kind,
+            deadline=deadlines.get(tenant),
         )
         for request_id, (arrival, tenant, kind, index) in enumerate(drawn)
     ]
@@ -312,10 +342,38 @@ def run_traffic(
     policy: Optional[str] = None,
     obs: Optional[Observability] = None,
     faults=None,
+    wal: Optional[ClusterWAL] = None,
 ) -> ClusterReport:
-    """Build the cluster, draw the trace, run it; returns the report."""
+    """Build the cluster, draw the trace, run it; returns the report.
+
+    With ``wal`` set, record 0 journals the complete run recipe (the
+    profile, resolved policy and fault plan) so a crashed run can be
+    replayed from the file alone; ``faults`` must then be a declarative
+    :class:`~repro.faults.FaultPlan` (or None), never a live injector —
+    an injector's consumed state cannot be serialized into the header.
+    """
+    if wal is not None:
+        from repro.faults import FaultPlan
+
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise ValueError(
+                "run_traffic(wal=...) needs a serializable FaultPlan, "
+                "not a live injector"
+            )
+        wal.append(
+            "meta",
+            v=WAL_VERSION,
+            profile=profile.to_dict(),
+            policy=policy or profile.policy,
+            faults=faults.to_dict() if faults is not None else None,
+        )
     fs = build_filesystem(profile)
     manager = ClusterManager(
-        fs, profile.cluster_policy(policy), obs=obs, faults=faults
+        fs, profile.cluster_policy(policy), obs=obs, faults=faults,
+        wal=wal,
     )
-    return manager.run(generate_requests(profile))
+    try:
+        return manager.run(generate_requests(profile))
+    finally:
+        if wal is not None:
+            wal.close()

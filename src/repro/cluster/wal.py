@@ -1,0 +1,222 @@
+"""Write-ahead journal + crash resume for the cluster manager.
+
+The :class:`~repro.cluster.manager.ClusterManager` is deterministic: a
+run is a pure function of (traffic profile, policy, fault plan).  That
+turns crash recovery into *deterministic replay with an integrity
+check* instead of mutable-state snapshotting:
+
+- **Recording** — the manager appends one JSON record per scheduling
+  decision (admission, launch, attempt resolution, re-queue, shuffle
+  start/abort, map-output loss, preemption, job completion) to a JSONL
+  WAL.  Record 0 is a ``meta`` header embedding the full profile,
+  policy name and fault plan — everything needed to re-derive the run.
+  Lines are flushed one at a time and may be gzip-framed, exactly like
+  the flight-recorder artifacts, so a crash mid-write leaves a readable
+  prefix and :meth:`ClusterWAL.load` tolerates the torn final line.
+
+- **Resume** — :func:`resume_from_wal` rebuilds the profile and fault
+  plan from the header and re-runs the traffic with a *verifying* WAL:
+  every record the replay produces is compared field-for-field against
+  the surviving prefix.  A match proves the rebuilt manager walked the
+  exact same state trajectory the crashed one did, after which the
+  replay continues past the crash point and produces the byte-identical
+  :class:`~repro.cluster.report.ClusterReport` the uninterrupted run
+  would have.  Any mismatch raises :class:`WalDivergence` — corrupted
+  journal, edited profile, or non-determinism — rather than silently
+  reporting numbers the original run never saw.
+
+Simulated crashes (``crash_after=N``) tear the manager down at an exact
+record boundary: the WAL holds records ``0..N-1`` and the manager dies
+before writing record ``N``.  The crash-resume test sweeps every
+boundary of the sample profile.
+"""
+
+from __future__ import annotations
+
+import gzip as _gzip
+import json
+from typing import List, Optional, Tuple
+
+#: bump when the record schema changes incompatibly
+WAL_VERSION = 1
+
+
+class SimulatedCrash(RuntimeError):
+    """The manager was torn down at a requested WAL record boundary."""
+
+
+class WalDivergence(RuntimeError):
+    """Replay produced a record that contradicts the journal."""
+
+
+class ClusterWAL:
+    """One run's journal: appends records, optionally verifying them.
+
+    ``path`` (optional) persists records as flushed JSONL (gzip framing
+    by ``.gz`` suffix or ``gzipped=True``).  ``crash_after=N`` raises
+    :class:`SimulatedCrash` instead of writing record ``N`` (0-based),
+    so the file holds exactly ``N`` records.  ``expected`` puts the WAL
+    in resume mode: each appended record is checked against the loaded
+    prefix and a mismatch raises :class:`WalDivergence`.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        crash_after: Optional[int] = None,
+        expected: Optional[List[dict]] = None,
+        gzipped: Optional[bool] = None,
+    ) -> None:
+        if crash_after is not None and crash_after < 1:
+            raise ValueError("crash_after must be >= 1 (the meta record)")
+        self.path = path
+        self.crash_after = crash_after
+        self.expected = expected
+        #: every record appended so far, in order
+        self.records: List[dict] = []
+        #: records verified against the ``expected`` prefix
+        self.verified = 0
+        #: loader warnings (torn tail) carried through a resume
+        self.warnings: List[str] = []
+        self._seq = 0
+        self._handle = None
+        if path is not None:
+            gz = gzipped if gzipped is not None else path.endswith(".gz")
+            opener = _gzip.open if gz else open
+            self._handle = opener(path, "wt", encoding="utf-8")
+
+    def append(self, kind: str, /, **fields) -> dict:
+        """Journal one record; returns it (with its ``seq`` assigned)."""
+        if self.crash_after is not None and self._seq >= self.crash_after:
+            self.close()
+            raise SimulatedCrash(
+                f"simulated crash at record boundary {self._seq}"
+            )
+        record = {"seq": self._seq, "type": kind, **fields}
+        if self.expected is not None and self._seq < len(self.expected):
+            if self.expected[self._seq] != record:
+                raise WalDivergence(
+                    f"replay diverged at record {self._seq}: journal has "
+                    f"{json.dumps(self.expected[self._seq], sort_keys=True)} "
+                    f"but replay produced "
+                    f"{json.dumps(record, sort_keys=True)}"
+                )
+            self.verified += 1
+        self.records.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- loading -------------------------------------------------------
+
+    @staticmethod
+    def load(path: str) -> Tuple[List[dict], List[str]]:
+        """Read a journal; returns ``(records, warnings)``.
+
+        Accepts gzip framing by content (magic bytes, not file name).
+        A torn final line — the record in flight when the manager
+        crashed — is dropped with a warning; any earlier malformed line
+        is a hard error.
+        """
+        with open(path, "rb") as handle:
+            head = handle.read(2)
+        if head == b"\x1f\x8b":
+            with _gzip.open(path, "rt", encoding="utf-8") as handle:
+                text = handle.read()
+        else:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        records: List[dict] = []
+        warnings: List[str] = []
+        lines = text.splitlines()
+        last_payload = next(
+            (i for i in range(len(lines) - 1, -1, -1) if lines[i].strip()),
+            None,
+        )
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if records and lineno - 1 == last_payload:
+                    warnings.append(
+                        f"torn final record (line {lineno}) dropped: {exc}"
+                    )
+                    break
+                raise ValueError(
+                    f"line {lineno} is not a WAL record: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"line {lineno} is not a WAL record")
+            if record.get("seq") != len(records):
+                raise ValueError(
+                    f"line {lineno}: expected seq {len(records)}, "
+                    f"got {record.get('seq')!r}"
+                )
+            records.append(record)
+        if not records:
+            raise ValueError(f"{path}: empty WAL (nothing to resume)")
+        if records[0].get("type") != "meta":
+            raise ValueError(f"{path}: record 0 is not a meta header")
+        version = records[0].get("v")
+        if version != WAL_VERSION:
+            raise ValueError(
+                f"{path}: WAL version {version!r} "
+                f"(this build reads {WAL_VERSION})"
+            )
+        return records, warnings
+
+
+def resume_from_wal(
+    path: str,
+    policy: Optional[str] = None,
+    obs=None,
+    wal_out: Optional[str] = None,
+):
+    """Recover a crashed run: returns ``(report, wal)``.
+
+    Rebuilds the traffic profile and fault plan from the journal's meta
+    header, replays the run while verifying every surviving record, and
+    carries on past the crash point to the finished
+    :class:`~repro.cluster.report.ClusterReport` — byte-identical to
+    what the uninterrupted run would have produced.  ``wal_out``
+    optionally journals the *complete* replay to a fresh file.
+    ``policy`` must be left None except to match the original run.
+    """
+    from repro.faults import FaultPlan
+
+    from repro.cluster.traffic import TrafficProfile, run_traffic
+
+    records, warnings = ClusterWAL.load(path)
+    meta = records[0]
+    profile = TrafficProfile.from_dict(meta["profile"])
+    plan = (
+        FaultPlan.from_dict(meta["faults"])
+        if meta.get("faults") is not None
+        else None
+    )
+    wal = ClusterWAL(path=wal_out, expected=records)
+    wal.warnings.extend(warnings)  # surfaced by the CLI
+    report = run_traffic(
+        profile,
+        policy=policy or meta.get("policy"),
+        obs=obs,
+        faults=plan,
+        wal=wal,
+    )
+    if wal.verified < len(records):
+        raise WalDivergence(
+            f"replay finished after {len(wal.records)} records but only "
+            f"{wal.verified} of {len(records)} journaled records were "
+            f"reproduced — the journal belongs to a longer run"
+        )
+    return report, wal

@@ -68,6 +68,24 @@ class FaultInjector:
         while self._task_events and self._task_events[0].at_task <= boundary:
             self._fire(self._task_events.pop(0))
 
+    def next_time(self) -> Optional[float]:
+        """Earliest unfired ``at_time`` event (None when exhausted).
+
+        Event-loop drivers include this in their next-event horizon so
+        faults land at their exact scheduled instants — including after
+        every map task has finished — instead of at whatever scheduling
+        boundary happens to come next.
+        """
+        return self._time_events[0].at_time if self._time_events else None
+
+    def pending_events(self) -> List[FaultEvent]:
+        """Every event still unfired, time-triggered first.
+
+        A driver that finishes its run with events left over reports
+        them (``fault.ignored``) instead of dropping them silently.
+        """
+        return list(self._time_events) + list(self._task_events)
+
     def drain_dead(self) -> List[tuple]:
         """``(node, died_at)`` pairs killed since the last drain (the
         scheduler fails attempts running at ``died_at`` on that node and

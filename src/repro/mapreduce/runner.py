@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.faults import FaultInjector, FaultPlan, current_fault_plan
 from repro.hdfs.errors import FaultError
 from repro.hdfs.filesystem import FileSystem
+from repro.mapreduce.backoff import BackoffConfig, ExponentialBackoff
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import Job
 from repro.mapreduce.output import CollectOutputFormat
@@ -177,6 +178,9 @@ class JobRunner:
                 max_attempts=job.max_attempts,
                 faults=injector,
                 node_usable=self.fs.is_node_live,
+                retry_backoff=ExponentialBackoff(
+                    BackoffConfig(seed=cluster.seed)
+                ),
             )
             map_durations = obs.registry.histogram(
                 "task.duration.seconds", TASK_DURATION_BOUNDARIES, kind="map"

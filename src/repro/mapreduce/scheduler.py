@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, List, Optional, Sequence
 
 from repro.hdfs.errors import FaultError
+from repro.mapreduce.backoff import BackoffLike, resolve_backoff
 from repro.mapreduce.types import InputSplit
 from repro.obs import NULL_OBS, Observability
 from repro.sim.metrics import Metrics
@@ -95,7 +96,7 @@ class _MapScheduler:
         faults,
         node_usable: Optional[Callable[[int], bool]],
         blacklist_after: int,
-        retry_backoff: float,
+        retry_backoff: BackoffLike,
     ) -> None:
         self.splits = splits
         self.execute = execute
@@ -104,7 +105,7 @@ class _MapScheduler:
         self.faults = faults
         self.node_usable = node_usable
         self.blacklist_after = blacklist_after
-        self.retry_backoff = retry_backoff
+        self.retry_backoff = resolve_backoff(retry_backoff)
         self.pending: List[_Pending] = [
             _Pending(i, 0) for i in range(len(splits))
         ]
@@ -192,12 +193,16 @@ class _MapScheduler:
                 f"allowed attempts (last error: {error})",
                 self.history,
             )
-        self.pending.append(_Pending(
-            index,
-            self.attempts_used[index],
-            now + self.retry_backoff,
-            banned,
-        ))
+        attempt = self.attempts_used[index]
+        label = self.splits[index].label or str(index)
+        delay = self.retry_backoff.delay(label, max(0, attempt - 1))
+        if delay > 0:
+            self.obs.emit(
+                "retry.backoff", sim_time=now,
+                split=label, attempt=attempt, delay=delay,
+                ready=now + delay,
+            )
+        self.pending.append(_Pending(index, attempt, now + delay, banned))
 
     def _note_node_failure(self, node: int) -> bool:
         """Count a failed attempt against ``node``; True if the node was
@@ -407,7 +412,7 @@ def schedule_map_tasks(
     faults=None,
     node_usable: Optional[Callable[[int], bool]] = None,
     blacklist_after: int = 3,
-    retry_backoff: float = 0.0,
+    retry_backoff: BackoffLike = 0.0,
 ) -> List[ScheduledTask]:
     """Run every split on the simulated cluster; returns executed tasks.
 
@@ -420,6 +425,10 @@ def schedule_map_tasks(
     :class:`~repro.faults.FaultInjector` driven by the event loop;
     ``node_usable(node)`` filters slots (dead/decommissioned nodes).
     Nodes failing ``blacklist_after`` attempts are blacklisted.
+    ``retry_backoff`` delays each retry: either a fixed number of
+    seconds or an :class:`~repro.mapreduce.backoff.ExponentialBackoff`
+    (seeded exponential delay with jitter; each applied delay emits a
+    ``retry.backoff`` event).
 
     With ``speculative=True``, once no pending work remains, idle slots
     launch duplicates of still-running *non-local* tasks on nodes that

@@ -90,9 +90,9 @@ class TestPipeline:
     def test_every_wrapper_scenario_is_registered(self):
         # one scenario per benchmarks/bench_*.py module
         assert sorted(regress.SCENARIOS) == [
-            "addcolumn", "buffers", "cluster_load", "colocation",
-            "encodings", "fig10", "fig11", "fig7", "fig8", "fig9",
-            "pruning", "scale_stability", "table1", "table2",
+            "addcolumn", "buffers", "cluster_load", "cluster_recovery",
+            "colocation", "encodings", "fig10", "fig11", "fig7", "fig8",
+            "fig9", "pruning", "scale_stability", "table1", "table2",
         ]
 
     def test_run_write_check_roundtrip(self, tmp_path):
