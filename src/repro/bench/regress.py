@@ -314,6 +314,26 @@ def _extract_cluster_recovery(result) -> Dict[str, float]:
     return out
 
 
+def _extract_cluster_slo(result) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for variant, report in sorted(result.reports.items()):
+        out[f"time.makespan.{variant}"] = report.makespan
+        out[f"count.completed.{variant}"] = len(report.completed)
+    # The monitor is a pure observer: bare/monitored makespan must be
+    # exactly 1.0, and the folded store must reconcile exactly against
+    # the monitored report (mismatches gate at 0).
+    out["ratio.monitoring_efficiency"] = result.monitoring_efficiency
+    out["count.reconcile_mismatches"] = len(result.mismatches)
+    out["count.series"] = (
+        len(result.store) if result.store is not None else 0
+    )
+    out["count.alert_transitions"] = result.alert_transitions
+    out["count.alerts_firing"] = result.firing_transitions
+    for status in result.statuses:
+        out[f"fraction.compliance.{status.slo.tenant}"] = status.compliance
+    return out
+
+
 def _lazy(module: str):
     """Defer the scenario import so ``repro bench --help`` stays fast."""
 
@@ -402,6 +422,12 @@ _register(
     {"duration": 1.0, "seed": 20110401, "kill_time": 0.35, "kill_node": 1},
     _extract_cluster_recovery,
     "mid-run node kill: map-output re-execution + speculation overhead",
+)
+_register(
+    "cluster_slo", "cluster_slo",
+    {"duration": 1.0, "seed": 20110401},
+    _extract_cluster_slo,
+    "continuous monitoring overhead: tsdb + SLO/alerting as pure observer",
 )
 
 

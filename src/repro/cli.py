@@ -523,6 +523,20 @@ def build_parser() -> argparse.ArgumentParser:
             "exit 1 on problems"
         ),
     )
+    export.add_argument(
+        "--since", type=float, default=None, metavar="T",
+        help=(
+            "with a .tsdb sidecar, export only samples at simulated "
+            "time >= T"
+        ),
+    )
+    export.add_argument(
+        "--until", type=float, default=None, metavar="T",
+        help=(
+            "with a .tsdb sidecar, export only samples at simulated "
+            "time <= T"
+        ),
+    )
 
     top = subcommands.add_parser(
         "top",
@@ -646,6 +660,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     crun_cluster.add_argument(
+        "--tsdb", default=None, metavar="PATH",
+        help=(
+            "fold the run into the continuous-monitoring time-series "
+            "store and persist it as a merge-accumulating sidecar "
+            "(query with 'repro slo' / 'repro alerts' / 'repro export "
+            "prom')"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--events-out", dest="events_out", default=None, metavar="PATH",
+        help=(
+            "stream the raw event bus to a JSONL file (buffered writes "
+            "— cluster traffic is high-volume)"
+        ),
+    )
+    crun_cluster.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+    crun_cluster.add_argument(
         "--crash-after", type=int, default=None, metavar="N",
         help=(
             "tear the manager down after journaling N WAL records "
@@ -680,6 +714,61 @@ def build_parser() -> argparse.ArgumentParser:
     cprofile.add_argument(
         "--out", default=None, metavar="PATH",
         help="write to a file instead of stdout",
+    )
+
+    slo = subcommands.add_parser(
+        "slo",
+        help=(
+            "evaluate the per-tenant SLOs recorded in a .tsdb sidecar: "
+            "compliance, burn rate and remaining error budget per "
+            "objective (written by 'repro cluster run --tsdb')"
+        ),
+    )
+    slo.add_argument(
+        "tsdb", help=".tsdb monitoring sidecar (gzipped JSONL)"
+    )
+    slo.add_argument(
+        "--at", type=float, default=None, metavar="T",
+        help=(
+            "evaluate at simulated time T instead of the sidecar's "
+            "watermark"
+        ),
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit the statuses as JSON instead of the table",
+    )
+    slo.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any SLO is out of compliance",
+    )
+    slo.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
+
+    alerts = subcommands.add_parser(
+        "alerts",
+        help=(
+            "print the alert timeline recorded in a .tsdb sidecar: "
+            "every pending/firing/resolved transition the rule engine "
+            "walked on the simulated clock"
+        ),
+    )
+    alerts.add_argument(
+        "tsdb", help=".tsdb monitoring sidecar (gzipped JSONL)"
+    )
+    alerts.add_argument(
+        "--json", action="store_true",
+        help="emit the transitions as JSON instead of the table",
+    )
+    alerts.add_argument(
+        "--firing", action="store_true",
+        help="show only firing transitions",
+    )
+    alerts.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
     )
 
     explain = subcommands.add_parser(
@@ -871,7 +960,43 @@ def _run_export(args, out: Callable[[str], None]) -> int:
         prometheus_text,
         validate_chrome_trace,
     )
+    from repro.obs.tsdb import TimeSeriesStore, tsdb_prometheus_text
 
+    # A .tsdb monitoring sidecar exports directly (prom only), with
+    # optional --since/--until time-range selection.
+    store = None
+    try:
+        store, store_warnings = TimeSeriesStore.load(args.trace)
+    except (OSError, ValueError):
+        store = None
+    if store is not None:
+        if args.format != "prom":
+            out("error: .tsdb sidecars export as 'prom' only")
+            return 1
+        for warning in store_warnings:
+            out(f"WARNING: {warning}")
+        payload = tsdb_prometheus_text(
+            store, since=args.since, until=args.until
+        )
+        problems = []
+        if args.check:
+            try:
+                parse_prometheus_text(payload)
+            except ValueError as exc:
+                problems = [str(exc)]
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            out(f"wrote {args.out}")
+        else:
+            out(payload)
+        for problem in problems:
+            out(f"INVALID: {problem}")
+        return 1 if problems else 0
+
+    if args.since is not None or args.until is not None:
+        out("error: --since/--until apply to .tsdb sidecars only")
+        return 1
     report = _load_trace(args.trace, out)
     if report is None:
         return 1
@@ -1016,6 +1141,9 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
     if args.wal and args.compare:
         out("error: --wal journals a single run; drop --compare")
         return 1
+    if args.compare and (args.tsdb or args.events_out):
+        out("error: --tsdb/--events-out record a single run; drop --compare")
+        return 1
 
     if args.compare:
         # The identical arrival trace under both policies; faults are
@@ -1054,6 +1182,52 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
             "policy": args.policy or profile.policy,
             "seed": profile.seed,
         })
+
+    # Continuous monitoring: fold the event stream into a time-series
+    # store whenever a sidecar was asked for or the profile declares
+    # SLOs.  Strictly an observer — the simulated run is identical with
+    # or without it (the cluster_slo bench gates that).
+    resolved_policy = profile.cluster_policy(args.policy)
+    monitor = None
+    run_obs = None
+    bus = None
+    if args.tsdb or resolved_policy.slos or resolved_policy.alerts:
+        from repro.obs.alerts import ClusterMonitor
+
+        if recorder is not None:
+            bus = recorder.bus
+        else:
+            from repro.obs import (
+                EventBus, MetricRegistry, NULL_TRACER, Observability,
+            )
+
+            bus = EventBus()
+            run_obs = Observability(
+                NULL_TRACER, MetricRegistry(), enabled=True, bus=bus,
+            )
+        monitor = ClusterMonitor.for_policy(resolved_policy).attach(bus)
+    sink = None
+    if args.events_out:
+        from repro.obs import JsonlEventSink
+
+        if bus is None:
+            if recorder is not None:
+                bus = recorder.bus
+            else:
+                from repro.obs import (
+                    EventBus, MetricRegistry, NULL_TRACER, Observability,
+                )
+
+                bus = EventBus()
+                run_obs = Observability(
+                    NULL_TRACER, MetricRegistry(), enabled=True, bus=bus,
+                )
+        try:
+            sink = JsonlEventSink(args.events_out, flush_every=64)
+        except OSError as exc:
+            out(f"error: cannot open {args.events_out}: {exc}")
+            return 1
+        sink.attach(bus)
     wal = None
     if args.wal:
         from repro.cluster import ClusterWAL
@@ -1066,9 +1240,12 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
     with contextlib.ExitStack() as stack:
         if recorder is not None:
             stack.enter_context(recorder.activate())
+        if sink is not None:
+            stack.enter_context(sink)
         try:
             report = run_traffic(
-                profile, policy=args.policy, faults=plan, wal=wal,
+                profile, policy=args.policy, obs=run_obs, faults=plan,
+                wal=wal,
             )
         except Exception as exc:
             from repro.cluster import SimulatedCrash
@@ -1083,10 +1260,49 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
             return 0
     if args.wal and not args.json:
         out(f"journaled {len(wal.records)} WAL record(s) to {args.wal}")
+    statuses = []
+    if monitor is not None:
+        from repro.obs.tsdb import reconcile_tsdb
+
+        statuses = monitor.statuses()
+        mismatches = reconcile_tsdb(monitor.store, report)
+        if mismatches:
+            for mismatch in mismatches:
+                out(f"TSDB MISMATCH: {mismatch}")
+            return 1
+        if args.tsdb:
+            try:
+                saved = monitor.save(args.tsdb)
+            except OSError as exc:
+                out(f"error: cannot write tsdb sidecar {args.tsdb}: {exc}")
+                return 1
     if args.json:
-        out(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        payload = report.to_dict()
+        if monitor is not None:
+            payload["slo"] = {
+                "statuses": [s.to_dict() for s in statuses],
+                "alerts": list(monitor.store.alerts),
+            }
+        out(_json.dumps(payload, indent=2, sort_keys=True))
     else:
         out(report.render())
+        if monitor is not None and statuses:
+            from repro.obs.slo import render_slo_table
+            from repro.util.term import palette
+
+            pal = palette(args.no_color)
+            out("")
+            out(render_slo_table(statuses, pal=pal))
+            firing = monitor.engine.firing()
+            if firing:
+                out(pal.red("alerts firing: " + ", ".join(firing)))
+        if args.events_out:
+            out(f"wrote event stream to {args.events_out}")
+        if args.tsdb and monitor is not None:
+            out(
+                f"folded {len(saved)} series "
+                f"({saved.runs} run(s) accumulated) into {args.tsdb}"
+            )
     if recorder is not None:
         try:
             recorder.report().write_jsonl(
@@ -1097,6 +1313,78 @@ def _run_cluster(args, out: Callable[[str], None]) -> int:
             return 1
         out(f"wrote flight recording to {args.trace_out}")
     return 0 if not report.failed else 1
+
+
+def _load_tsdb(path: str, out: Callable[[str], None]):
+    """Load a .tsdb sidecar or report the failure (None on error)."""
+    from repro.obs.tsdb import TimeSeriesStore
+
+    try:
+        store, warnings = TimeSeriesStore.load(path)
+    except (OSError, ValueError) as exc:
+        out(f"error: cannot read tsdb sidecar {path}: {exc}")
+        return None
+    for warning in warnings:
+        out(f"WARNING: {warning}")
+    return store
+
+
+def _run_slo(args, out: Callable[[str], None]) -> int:
+    """``repro slo``: evaluate a sidecar's declared SLOs."""
+    import json as _json
+
+    from repro.obs.slo import SloConfig, evaluate_slos, render_slo_table
+    from repro.util.term import palette
+
+    store = _load_tsdb(args.tsdb, out)
+    if store is None:
+        return 1
+    declared = store.meta.get("slos") or []
+    slos = [SloConfig.from_dict(d) for d in declared]
+    at = args.at if args.at is not None else store.watermark
+    statuses = evaluate_slos(store, slos, at=at)
+    if args.json:
+        out(_json.dumps(
+            {
+                "at": at,
+                "runs": store.runs,
+                "statuses": [s.to_dict() for s in statuses],
+            },
+            indent=2, sort_keys=True,
+        ))
+    elif not slos:
+        out("(sidecar declares no SLOs)")
+    else:
+        out(f"slo status at t={at:.3f}s ({store.runs} run(s) accumulated)")
+        out(render_slo_table(statuses, pal=palette(args.no_color)))
+    if args.strict and any(not s.healthy for s in statuses):
+        return 1
+    return 0
+
+
+def _run_alerts(args, out: Callable[[str], None]) -> int:
+    """``repro alerts``: print a sidecar's alert timeline."""
+    import json as _json
+
+    from repro.obs.alerts import render_alert_timeline
+    from repro.util.term import palette
+
+    store = _load_tsdb(args.tsdb, out)
+    if store is None:
+        return 1
+    alerts = store.alerts
+    if args.firing:
+        alerts = [a for a in alerts if a.get("transition") == "firing"]
+    if args.json:
+        out(_json.dumps(
+            {"runs": store.runs, "alerts": alerts},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        out(render_alert_timeline(
+            alerts, pal=palette(args.no_color), runs=store.runs,
+        ))
+    return 0
 
 
 def _resume_cluster(args, out: Callable[[str], None]) -> int:
@@ -1548,6 +1836,10 @@ def main(argv: Optional[List[str]] = None, out: Callable[[str], None] = print) -
         return _run_top(args, out)
     if args.command == "cluster":
         return _run_cluster(args, out)
+    if args.command == "slo":
+        return _run_slo(args, out)
+    if args.command == "alerts":
+        return _run_alerts(args, out)
     if args.command == "explain":
         return _run_explain(args, out)
     if args.command == "report" and args.trace is not None:

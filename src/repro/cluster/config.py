@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.mapreduce.backoff import BackoffConfig
+from repro.obs.alerts import AlertRule
+from repro.obs.slo import SloConfig
 
 from repro.cluster.speculate import SpeculationConfig
 
@@ -88,6 +90,11 @@ class ClusterPolicy:
     #: seeded exponential retry backoff for failed attempts; seed 0
     #: defers to the cluster's own seed at run time
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
+    #: per-tenant latency SLOs the continuous monitor evaluates
+    #: (declarative only — the scheduler never reads them)
+    slos: List[SloConfig] = field(default_factory=list)
+    #: extra alert rules on top of the SLOs' default burn-rate pairs
+    alerts: List[AlertRule] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -126,6 +133,23 @@ class ClusterPolicy:
                 raise ValueError(
                     f"tenant {tenant.name!r} needs max_queued >= 1"
                 )
+        tenant_set = set(tenant_names)
+        slo_names = [s.name for s in self.slos]
+        if len(set(slo_names)) != len(slo_names):
+            raise ValueError("duplicate slo names")
+        for slo in self.slos:
+            if slo.tenant not in tenant_set:
+                raise ValueError(
+                    f"slo {slo.name!r} watches unknown tenant "
+                    f"{slo.tenant!r}"
+                )
+        slo_set = set(slo_names)
+        for rule in self.alerts:
+            if rule.kind == "burn_rate" and rule.slo not in slo_set:
+                raise ValueError(
+                    f"alert rule {rule.name!r} watches unknown slo "
+                    f"{rule.slo!r}"
+                )
 
     def queue(self, name: str) -> QueueConfig:
         return next(q for q in self.queues if q.name == name)
@@ -139,13 +163,20 @@ class ClusterPolicy:
     # -- (de)serialization ---------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "policy": self.policy,
             "queues": [q.to_dict() for q in self.queues],
             "tenants": [t.to_dict() for t in self.tenants],
             "speculation": self.speculation.to_dict(),
             "backoff": self.backoff.to_dict(),
         }
+        # Emitted only when declared, so journals written before the
+        # monitoring layer landed still verify on resume.
+        if self.slos:
+            out["slos"] = [s.to_dict() for s in self.slos]
+        if self.alerts:
+            out["alerts"] = [r.to_dict() for r in self.alerts]
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ClusterPolicy":
@@ -176,6 +207,12 @@ class ClusterPolicy:
                 data.get("speculation", {})
             ),
             backoff=BackoffConfig.from_dict(data.get("backoff", {})),
+            slos=[
+                SloConfig.from_dict(s) for s in data.get("slos", [])
+            ],
+            alerts=[
+                AlertRule.from_dict(r) for r in data.get("alerts", [])
+            ],
         )
 
 
@@ -187,4 +224,6 @@ def fifo_variant(policy: ClusterPolicy) -> ClusterPolicy:
         policy="fifo",
         speculation=policy.speculation,
         backoff=policy.backoff,
+        slos=list(policy.slos),
+        alerts=list(policy.alerts),
     )

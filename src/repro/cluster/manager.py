@@ -372,6 +372,7 @@ class ClusterManager:
                 kind=request.kind,
                 arrival=request.arrival,
                 status="rejected",
+                deadline=request.deadline,
                 error=f"tenant queue full ({waiting}/{tenant.max_queued})",
             ))
             return
@@ -400,6 +401,7 @@ class ClusterManager:
                     kind=request.kind,
                     arrival=request.arrival,
                     status="shed",
+                    deadline=request.deadline,
                     error=(
                         f"predicted latency {predicted:.3f}s exceeds "
                         f"deadline {request.deadline:.3f}s"
@@ -694,6 +696,7 @@ class ClusterManager:
             start=execution.start,
             attempts=len(execution.tasks),
             preemptions=execution.preemptions,
+            deadline=execution.request.deadline,
             error=error,
         ))
 
@@ -942,14 +945,19 @@ class ClusterManager:
             reduce_time=reduce_makespan,
             attempts=len(execution.tasks),
             preemptions=execution.preemptions,
+            deadline=execution.request.deadline,
         )
         self.outcomes.append(outcome)
+        finish_attrs = {}
+        if outcome.deadline is not None:
+            finish_attrs["deadline"] = outcome.deadline
+            finish_attrs["deadline_miss"] = outcome.deadline_missed
         self.obs.emit(
             "job.finish", sim_time=finish,
             job=job.name, tenant=execution.tenant, queue=execution.queue,
             outcome="completed", latency=outcome.latency,
             wait=outcome.wait, preemptions=execution.preemptions,
-            attempts=len(execution.tasks),
+            attempts=len(execution.tasks), **finish_attrs,
         )
         self._wal_append(
             "job_complete", t=finish, job=job.name, finish=finish,

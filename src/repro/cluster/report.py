@@ -44,6 +44,7 @@ class JobOutcome:
     reduce_time: float = 0.0
     attempts: int = 0
     preemptions: int = 0        # attempts this job lost to preemption
+    deadline: Optional[float] = None  # requested latency bound, if any
     error: Optional[str] = None
 
     @property
@@ -52,6 +53,15 @@ class JobOutcome:
         if self.status != "completed":
             return 0.0
         return self.finish - self.arrival
+
+    @property
+    def deadline_missed(self) -> bool:
+        """Completed, but slower than the deadline it asked for."""
+        return (
+            self.status == "completed"
+            and self.deadline is not None
+            and self.latency > self.deadline
+        )
 
     @property
     def wait(self) -> float:
@@ -75,6 +85,8 @@ class JobOutcome:
             "reduce_time": self.reduce_time,
             "attempts": self.attempts,
             "preemptions": self.preemptions,
+            "deadline": self.deadline,
+            "deadline_missed": self.deadline_missed,
             "error": self.error,
         }
 
@@ -90,6 +102,7 @@ class TenantSummary:
     rejected: int = 0
     failed: int = 0
     shed: int = 0               # declined at admission: deadline at risk
+    deadline_misses: int = 0    # completed, but past the asked deadline
     preemptions: int = 0
     latencies: List[float] = field(default_factory=list)
     waits: List[float] = field(default_factory=list)
@@ -119,6 +132,7 @@ class TenantSummary:
             "rejected": self.rejected,
             "failed": self.failed,
             "shed": self.shed,
+            "deadline_misses": self.deadline_misses,
             "preemptions": self.preemptions,
             "p50": self.p50,
             "p95": self.p95,
@@ -181,6 +195,8 @@ class ClusterReport:
                 summary.completed += 1
                 summary.latencies.append(outcome.latency)
                 summary.waits.append(outcome.wait)
+                if outcome.deadline_missed:
+                    summary.deadline_misses += 1
             elif outcome.status == "rejected":
                 summary.rejected += 1
             elif outcome.status == "shed":
@@ -219,13 +235,15 @@ class ClusterReport:
             f"preemptions={self.preemptions}",
             "",
             f"{'tenant':<12}{'queue':<12}{'sub':>5}{'done':>6}"
-            f"{'rej':>5}{'shed':>5}{'fail':>5}{'p50(s)':>10}{'p95(s)':>10}"
+            f"{'rej':>5}{'shed':>5}{'miss':>5}{'fail':>5}"
+            f"{'p50(s)':>10}{'p95(s)':>10}"
             f"{'p99(s)':>10}{'wait(s)':>10}",
         ]
         for name, s in self.tenant_summaries().items():
             lines.append(
                 f"{name:<12}{s.queue:<12}{s.submitted:>5}{s.completed:>6}"
-                f"{s.rejected:>5}{s.shed:>5}{s.failed:>5}"
+                f"{s.rejected:>5}{s.shed:>5}{s.deadline_misses:>5}"
+                f"{s.failed:>5}"
                 f"{s.p50:>10.3f}{s.p95:>10.3f}"
                 f"{s.p99:>10.3f}{s.mean_wait:>10.3f}"
             )

@@ -37,6 +37,8 @@ from repro.formats.sequence_file import (
 from repro.hdfs import ClusterConfig, FileSystem
 from repro.mapreduce.job import Job
 from repro.obs import Observability
+from repro.obs.alerts import AlertRule
+from repro.obs.slo import SloConfig
 from repro.workloads.crawl import crawl_records, crawl_schema
 from repro.workloads.jobs import (
     distinct_content_types_job,
@@ -75,6 +77,19 @@ class TrafficTenant:
     #: per-job completion deadline in seconds after arrival; jobs the
     #: cost model predicts will miss it are shed at admission
     deadline: Optional[float] = None
+    #: declared latency objective + error budget window; evaluated by
+    #: the continuous monitor, never read by the scheduler
+    slo: Optional[SloConfig] = None
+
+    def __post_init__(self) -> None:
+        # A tenant's SLO always names that tenant, whatever the
+        # declaration said (profiles omit the redundant field).
+        if self.slo is not None and self.slo.tenant != self.name:
+            self.slo = SloConfig(
+                name=self.slo.name, tenant=self.name,
+                objective=self.slo.objective, latency=self.slo.latency,
+                window=self.slo.window,
+            )
 
     def tenant_config(self) -> TenantConfig:
         return TenantConfig(
@@ -108,6 +123,11 @@ class TrafficProfile:
         default_factory=SpeculationConfig
     )
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
+    #: extra alert rules on top of the tenants' SLO burn-rate defaults
+    alerts: List[AlertRule] = field(default_factory=list)
+
+    def slos(self) -> List[SloConfig]:
+        return [t.slo for t in self.tenants if t.slo is not None]
 
     def cluster_policy(self, policy: Optional[str] = None) -> ClusterPolicy:
         return ClusterPolicy(
@@ -116,6 +136,8 @@ class TrafficProfile:
             policy=policy or self.policy,
             speculation=self.speculation,
             backoff=self.backoff,
+            slos=self.slos(),
+            alerts=list(self.alerts),
         )
 
     # -- (de)serialization ---------------------------------------------
@@ -144,11 +166,23 @@ class TrafficProfile:
                         if t.deadline is not None
                         else {}
                     ),
+                    **(
+                        {"slo": t.slo.to_dict()}
+                        if t.slo is not None
+                        else {}
+                    ),
                 }
                 for t in self.tenants
             ],
             "speculation": self.speculation.to_dict(),
             "backoff": self.backoff.to_dict(),
+            # Emitted only when declared, so pre-monitoring WAL headers
+            # still verify on resume.
+            **(
+                {"alerts": [r.to_dict() for r in self.alerts]}
+                if self.alerts
+                else {}
+            ),
         }
 
     @classmethod
@@ -180,6 +214,11 @@ class TrafficProfile:
                     if t.get("deadline") is not None
                     else None
                 ),
+                slo=(
+                    SloConfig.from_dict(t["slo"], tenant=t["name"])
+                    if t.get("slo") is not None
+                    else None
+                ),
             )
             for t in data.get("tenants", [])
         ] or base.tenants
@@ -208,6 +247,9 @@ class TrafficProfile:
                 data.get("speculation", {})
             ),
             backoff=BackoffConfig.from_dict(data.get("backoff", {})),
+            alerts=[
+                AlertRule.from_dict(r) for r in data.get("alerts", [])
+            ],
         )
 
     @classmethod
@@ -217,7 +259,15 @@ class TrafficProfile:
 
 
 def sample_profile() -> TrafficProfile:
-    """The canonical 3-tenant mixed workload of the acceptance test."""
+    """The canonical 3-tenant mixed workload of the acceptance test.
+
+    Each tenant declares a latency SLO sized against the fair-policy
+    baseline: the etl objective is deliberately tight (long crawl scans
+    routinely overrun 150ms under contention, so its error budget burns
+    and the default burn-rate alerts exercise their full lifecycle),
+    while analytics and dashboard are comfortably within budget.  One
+    static rule watches admission rejects cluster-wide.
+    """
     return TrafficProfile(
         queues=[
             QueueConfig("batch", capacity=0.7, preemptible=True),
@@ -227,15 +277,35 @@ def sample_profile() -> TrafficProfile:
             TrafficTenant(
                 name="etl", queue="batch", rate=25.0,
                 jobs={"crawl_scan": 1.0}, weight=1.0, max_queued=6,
+                slo=SloConfig(
+                    name="etl-latency", tenant="etl",
+                    objective=0.95, latency=0.15, window=0.5,
+                ),
             ),
             TrafficTenant(
                 name="analytics", queue="batch", rate=40.0,
                 jobs={"analytics": 0.8, "crawl_scan": 0.2},
                 weight=1.0, max_queued=6,
+                slo=SloConfig(
+                    name="analytics-latency", tenant="analytics",
+                    objective=0.9, latency=0.25, window=0.5,
+                ),
             ),
             TrafficTenant(
                 name="dashboard", queue="interactive", rate=120.0,
                 jobs={"point_query": 1.0}, weight=2.0, max_queued=12,
+                slo=SloConfig(
+                    name="dashboard-latency", tenant="dashboard",
+                    objective=0.95, latency=0.05, window=0.25,
+                ),
+            ),
+        ],
+        alerts=[
+            AlertRule(
+                name="admission-rejects", kind="static",
+                series="cluster.events",
+                labels={"kind": "admission.reject"},
+                window=0.25, reduce="sum", op=">=", threshold=1.0,
             ),
         ],
     )

@@ -60,6 +60,28 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.heatmap import CellStats, DatasetHeatmap, load_sidecar, reconcile
+from repro.obs.tsdb import (
+    Series,
+    TimeSeriesStore,
+    TSDB_VERSION,
+    reconcile_tsdb,
+    tsdb_prometheus_text,
+)
+from repro.obs.slo import (
+    SloConfig,
+    SloStatus,
+    burn_rate,
+    evaluate_slo,
+    evaluate_slos,
+    render_slo_table,
+)
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    ClusterMonitor,
+    burn_rate_rules,
+    render_alert_timeline,
+)
 from repro.obs.advisor import Recommendation, advise, column_layouts, infer_layouts
 from repro.obs.live import LiveMonitor
 from repro.obs.analysis import (
@@ -124,6 +146,22 @@ __all__ = [
     "DatasetHeatmap",
     "load_sidecar",
     "reconcile",
+    "Series",
+    "TimeSeriesStore",
+    "TSDB_VERSION",
+    "reconcile_tsdb",
+    "tsdb_prometheus_text",
+    "SloConfig",
+    "SloStatus",
+    "burn_rate",
+    "evaluate_slo",
+    "evaluate_slos",
+    "render_slo_table",
+    "AlertEngine",
+    "AlertRule",
+    "ClusterMonitor",
+    "burn_rate_rules",
+    "render_alert_timeline",
     "Recommendation",
     "advise",
     "column_layouts",

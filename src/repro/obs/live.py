@@ -87,10 +87,17 @@ class LiveMonitor:
         self.jobs_done = 0
         self.jobs_rejected = 0
         self.jobs_failed = 0
+        self.jobs_shed = 0
+        self.deadline_misses = 0
         self.preempted = 0
         self.utilization: Optional[float] = None
-        #: tenant -> {queue, submitted, done, rejected, preempted}
+        #: tenant -> {queue, submitted, done, rejected, shed, preempted}
         self.tenants: Dict[str, Dict[str, object]] = {}
+        #: alert name -> lifecycle state (pending | firing), from
+        #: alert.* events emitted by the AlertEngine on the same bus
+        self.alert_states: Dict[str, str] = {}
+        #: slo name -> last slo.status payload seen
+        self.slo_statuses: Dict[str, Dict[str, object]] = {}
 
     # -- bus plumbing --------------------------------------------------
 
@@ -139,6 +146,11 @@ class LiveMonitor:
             tenant = self._tenant(attrs)
             if tenant is not None:
                 tenant["rejected"] += 1
+        elif kind == "admission.shed":
+            self.jobs_shed += 1
+            tenant = self._tenant(attrs)
+            if tenant is not None:
+                tenant["shed"] += 1
         elif kind == "admission.accept":
             # The manager reports split counts at admission; map totals
             # accumulate across jobs instead of being per-phase.
@@ -154,6 +166,19 @@ class LiveMonitor:
             else:
                 self.jobs_done += 1
                 tenant["done"] += 1
+                if attrs.get("deadline_miss"):
+                    self.deadline_misses += 1
+                    tenant["miss"] += 1
+        elif kind in ("alert.pending", "alert.firing", "alert.resolved"):
+            name = attrs.get("alert", "?")
+            if kind == "alert.resolved":
+                self.alert_states.pop(name, None)
+            else:
+                self.alert_states[name] = kind.split(".", 1)[1]
+        elif kind == "slo.status":
+            name = attrs.get("slo")
+            if name is not None:
+                self.slo_statuses[name] = dict(attrs)
         elif kind == "task.preempted":
             self.preempted += 1
             tenant = self._tenant(attrs)
@@ -212,8 +237,8 @@ class LiveMonitor:
             return None
         return self.tenants.setdefault(name, {
             "queue": attrs.get("queue", "?"),
-            "submitted": 0, "done": 0, "rejected": 0,
-            "failed": 0, "preempted": 0,
+            "submitted": 0, "done": 0, "rejected": 0, "shed": 0,
+            "miss": 0, "failed": 0, "preempted": 0,
         })
 
     # -- rendering ------------------------------------------------------
@@ -232,6 +257,10 @@ class LiveMonitor:
             )
             if self.jobs_rejected:
                 head += f"  rejected={self.jobs_rejected}"
+            if self.jobs_shed:
+                head += f"  shed={self.jobs_shed}"
+            if self.deadline_misses:
+                head += pal.yellow(f"  misses={self.deadline_misses}")
             if self.jobs_failed:
                 head += pal.red(f"  failed={self.jobs_failed}")
             if self.utilization is not None:
@@ -258,15 +287,45 @@ class LiveMonitor:
         if self.tenants:
             lines.append(
                 f"  {'tenant':<12}{'queue':<14}{'sub':>5}{'done':>6}"
-                f"{'rej':>5}{'fail':>5}{'preempt':>8}"
+                f"{'rej':>5}{'shed':>5}{'miss':>5}{'fail':>5}{'preempt':>8}"
             )
             for name in sorted(self.tenants):
                 t = self.tenants[name]
                 lines.append(
                     f"  {name:<12}{t['queue']:<14}{t['submitted']:>5}"
-                    f"{t['done']:>6}{t['rejected']:>5}{t['failed']:>5}"
-                    f"{t['preempted']:>8}"
+                    f"{t['done']:>6}{t['rejected']:>5}"
+                    f"{t.get('shed', 0):>5}{t.get('miss', 0):>5}"
+                    f"{t['failed']:>5}{t['preempted']:>8}"
                 )
+        if self.slo_statuses:
+            lines.append(
+                f"  {'slo':<22}{'tenant':<12}{'compliance':>11}"
+                f"{'burn':>7}{'budget':>8}  state"
+            )
+            for name in sorted(self.slo_statuses):
+                s = self.slo_statuses[name]
+                healthy = bool(s.get("healthy", True))
+                state = pal.green("OK") if healthy else pal.red("BREACH")
+                lines.append(
+                    f"  {name:<22}{str(s.get('tenant', '?')):<12}"
+                    f"{float(s.get('compliance', 1.0)):>11.4f}"
+                    f"{float(s.get('burn_rate', 0.0)):>7.2f}"
+                    f"{float(s.get('budget_remaining', 1.0)):>8.2f}"
+                    f"  {state}"
+                )
+        if self.alert_states:
+            firing = sorted(
+                n for n, s in self.alert_states.items() if s == "firing"
+            )
+            pending = sorted(
+                n for n, s in self.alert_states.items() if s == "pending"
+            )
+            parts = []
+            if firing:
+                parts.append(pal.red("firing: " + ", ".join(firing)))
+            if pending:
+                parts.append(pal.yellow("pending: " + ", ".join(pending)))
+            lines.append("  alerts " + "; ".join(parts))
 
         if self.running:
             per_node: Dict[int, List[str]] = {}

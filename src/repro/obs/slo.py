@@ -1,0 +1,204 @@
+"""Per-tenant service-level objectives over the time-series store.
+
+An SLO here is the classic latency objective: over a rolling window of
+``window`` simulated seconds, at least ``objective`` of the tenant's
+requests must be *good*.  A request is good when its job completed
+within ``latency`` seconds of submission; everything else the tenant
+experienced as an error counts against the budget — jobs that finished
+too slowly, jobs that failed, jobs shed at admission because the cost
+model predicted a deadline miss, and jobs rejected by backpressure.
+
+The **error budget** is ``1 - objective``: the fraction of requests
+allowed to be bad.  The **burn rate** is the Google-SRE normalization
+
+    burn = bad_fraction / error_budget
+
+so ``burn == 1`` consumes the budget exactly at the sustainable rate,
+``burn == 10`` exhausts a window's budget in a tenth of the window.
+Multi-window burn-rate alerting (:mod:`repro.obs.alerts`) evaluates
+this quantity over a long and a short window simultaneously: the long
+window proves the problem is real, the short one proves it is *still*
+happening.
+
+Everything is a pure function of the store and the simulated clock —
+two seeded runs produce identical statuses, so SLO panels and alert
+timelines are as reproducible as the WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tsdb import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """One tenant's declared latency objective + error budget window."""
+
+    name: str            # unique identifier, e.g. "dashboard-latency"
+    tenant: str          # the tenant whose jobs the SLI measures
+    objective: float     # required good fraction, e.g. 0.95
+    latency: float       # good = completed within this many sim seconds
+    window: float        # rolling window, simulated seconds
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("slo needs a name")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"slo {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective!r}"
+            )
+        if self.latency <= 0:
+            raise ValueError(f"slo {self.name!r}: latency must be > 0")
+        if self.window <= 0:
+            raise ValueError(f"slo {self.name!r}: window must be > 0")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "objective": self.objective,
+            "latency": self.latency,
+            "window": self.window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, tenant: Optional[str] = None) -> "SloConfig":
+        owner = data.get("tenant", tenant)
+        if owner is None:
+            raise ValueError("slo declaration needs a tenant")
+        return cls(
+            name=data.get("name") or f"{owner}-latency",
+            tenant=owner,
+            objective=float(data["objective"]),
+            latency=float(data["latency"]),
+            window=float(data["window"]),
+        )
+
+
+@dataclass
+class SloStatus:
+    """One SLO evaluated against the store at a simulated instant."""
+
+    slo: SloConfig
+    at: float            # evaluation time (the store's watermark)
+    total: int = 0       # requests observed in the window
+    good: int = 0
+    bad: int = 0
+    compliance: float = 1.0      # good / total (1.0 when idle)
+    burn_rate: float = 0.0       # bad_fraction / error_budget
+    budget_remaining: float = 1.0  # 1 - burn_rate, floored at 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.compliance >= self.slo.objective
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo.name,
+            "tenant": self.slo.tenant,
+            "objective": self.slo.objective,
+            "latency": self.slo.latency,
+            "window": self.slo.window,
+            "at": self.at,
+            "total": self.total,
+            "good": self.good,
+            "bad": self.bad,
+            "compliance": self.compliance,
+            "burn_rate": self.burn_rate,
+            "budget_remaining": self.budget_remaining,
+            "healthy": self.healthy,
+        }
+
+
+def window_counts(
+    store: TimeSeriesStore,
+    slo: SloConfig,
+    window: float,
+    at: float,
+) -> Dict[str, int]:
+    """``{total, good, bad}`` for the tenant over ``[at-window, at]``."""
+    since = max(0.0, at - window)
+    latencies = store.samples(
+        "cluster.job.latency", since=since, until=at, tenant=slo.tenant
+    )
+    good = sum(1 for value in latencies if value <= slo.latency)
+    errors = 0
+    for series in ("cluster.jobs.failed", "cluster.jobs.shed",
+                   "cluster.jobs.rejected"):
+        errors += int(store.counter_total(
+            series, since=since, until=at, tenant=slo.tenant
+        ))
+    total = len(latencies) + errors
+    return {"total": total, "good": good, "bad": total - good}
+
+
+def burn_rate(
+    store: TimeSeriesStore,
+    slo: SloConfig,
+    window: float,
+    at: float,
+) -> float:
+    """The budget burn rate over an arbitrary window ending at ``at``."""
+    counts = window_counts(store, slo, window, at)
+    if counts["total"] == 0:
+        return 0.0
+    bad_fraction = counts["bad"] / counts["total"]
+    return bad_fraction / slo.error_budget
+
+
+def evaluate_slo(
+    store: TimeSeriesStore,
+    slo: SloConfig,
+    at: Optional[float] = None,
+) -> SloStatus:
+    """Evaluate one SLO over its own window ending at ``at``."""
+    now = store.watermark if at is None else at
+    counts = window_counts(store, slo, slo.window, now)
+    status = SloStatus(slo=slo, at=now, **counts)
+    if status.total:
+        status.compliance = status.good / status.total
+        status.burn_rate = (
+            (status.bad / status.total) / slo.error_budget
+        )
+    status.budget_remaining = max(0.0, 1.0 - status.burn_rate)
+    return status
+
+
+def evaluate_slos(
+    store: TimeSeriesStore,
+    slos: Sequence[SloConfig],
+    at: Optional[float] = None,
+) -> List[SloStatus]:
+    return [evaluate_slo(store, slo, at=at) for slo in slos]
+
+
+def render_slo_table(statuses: Sequence[SloStatus], pal=None) -> str:
+    """Fixed-width SLO/error-budget table for the CLI."""
+    from repro.util.term import PLAIN
+
+    pal = pal or PLAIN
+    lines = [
+        f"{'slo':<22}{'tenant':<12}{'objective':>10}{'window(s)':>10}"
+        f"{'good/total':>12}{'compliance':>12}{'burn':>8}{'budget':>8}"
+        f"  state"
+    ]
+    for status in statuses:
+        state = (
+            pal.green("OK") if status.healthy else pal.red("BREACH")
+        )
+        lines.append(
+            f"{status.slo.name:<22}{status.slo.tenant:<12}"
+            f"{status.slo.objective:>10.3f}{status.slo.window:>10.3f}"
+            f"{status.good:>6}/{status.total:<5}"
+            f"{status.compliance:>12.4f}{status.burn_rate:>8.2f}"
+            f"{status.budget_remaining:>8.2f}  {state}"
+        )
+    return "\n".join(lines)

@@ -91,8 +91,9 @@ class TestPipeline:
         # one scenario per benchmarks/bench_*.py module
         assert sorted(regress.SCENARIOS) == [
             "addcolumn", "buffers", "cluster_load", "cluster_recovery",
-            "colocation", "encodings", "fig10", "fig11", "fig7", "fig8",
-            "fig9", "pruning", "scale_stability", "table1", "table2",
+            "cluster_slo", "colocation", "encodings", "fig10", "fig11",
+            "fig7", "fig8", "fig9", "pruning", "scale_stability",
+            "table1", "table2",
         ]
 
     def test_run_write_check_roundtrip(self, tmp_path):

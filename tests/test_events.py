@@ -408,3 +408,113 @@ class TestClusterMonitor:
         )
         assert monitor.map_failed == 0
         assert monitor.map_done == 0
+
+
+class TestBufferedSink:
+    """``flush_every`` trades durability for fewer flush syscalls."""
+
+    def test_buffered_sink_defers_flush_until_threshold(self, tmp_path):
+        bus = EventBus(clock=FakeClock())
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(str(path), flush_every=3).attach(bus):
+            bus.emit("a")
+            bus.emit("b")
+            # two events buffered: nothing durable yet
+            assert path.read_text() == ""
+            bus.emit("c")
+            # third event crosses the threshold: all three flush
+            assert len(path.read_text().splitlines()) == 3
+            bus.emit("d")
+            assert len(path.read_text().splitlines()) == 3
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        bus = EventBus(clock=FakeClock())
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(str(path), flush_every=100).attach(bus):
+            bus.emit("a")
+            bus.emit("b")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["a", "b"]
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlEventSink(str(tmp_path / "x.jsonl"), flush_every=0)
+
+
+class TestClusterMonitorSloPanel:
+    """Shed/deadline columns and the SLO/alert panel in ``repro top``."""
+
+    def fold(self, *events):
+        bus = EventBus(clock=FakeClock())
+        monitor = LiveMonitor(lambda s: None, quiet=True).attach(bus)
+        for kind, attrs in events:
+            bus.emit(kind, **attrs)
+        return monitor
+
+    def _base_events(self):
+        return [
+            ("cluster.start", dict(sim_time=0.0, policy="fair", jobs=3)),
+            ("job.submitted", dict(
+                sim_time=0.0, job="a", tenant="etl", queue="batch",
+            )),
+            ("admission.accept", dict(
+                sim_time=0.0, job="a", tenant="etl", queue="batch",
+                splits=1,
+            )),
+            ("job.submitted", dict(
+                sim_time=0.01, job="b", tenant="etl", queue="batch",
+            )),
+            ("admission.shed", dict(
+                sim_time=0.01, job="b", tenant="etl", queue="batch",
+            )),
+            ("job.finish", dict(
+                sim_time=0.5, job="a", tenant="etl", queue="batch",
+                outcome="completed", latency=0.5, deadline=0.2,
+                deadline_miss=True,
+            )),
+        ]
+
+    def test_frame_shows_shed_and_deadline_misses(self):
+        monitor = self.fold(*self._base_events())
+        frame = monitor.render_frame()
+        assert "shed=1" in frame
+        assert "misses=1" in frame
+        # tenant table carries per-tenant columns
+        assert "shed" in frame and "miss" in frame
+
+    def test_frame_shows_slo_and_alert_state(self):
+        events = self._base_events() + [
+            ("slo.status", dict(
+                sim_time=0.5, slo="etl-latency", tenant="etl",
+                healthy=False, compliance=0.0, burn_rate=20.0,
+                budget_remaining=0.0,
+            )),
+            ("alert.firing", dict(
+                sim_time=0.5, alert="etl-latency-fast-burn",
+                kind="burn_rate", value=20.0, threshold=8.0,
+            )),
+            ("alert.pending", dict(
+                sim_time=0.5, alert="etl-latency-slow-burn",
+                kind="burn_rate", value=5.0, threshold=2.0,
+            )),
+        ]
+        monitor = self.fold(*events)
+        frame = monitor.render_frame()
+        assert "etl-latency" in frame
+        assert "BREACH" in frame
+        assert "etl-latency-fast-burn" in frame
+        assert "etl-latency-slow-burn" in frame
+
+    def test_resolved_alert_leaves_the_panel(self):
+        events = self._base_events() + [
+            ("alert.firing", dict(
+                sim_time=0.4, alert="rejects", kind="static",
+                value=3.0, threshold=1.0,
+            )),
+            ("alert.resolved", dict(
+                sim_time=0.6, alert="rejects", kind="static",
+                value=0.0, threshold=1.0,
+            )),
+        ]
+        monitor = self.fold(*events)
+        assert "rejects" not in monitor.render_frame()

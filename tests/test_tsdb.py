@@ -1,0 +1,409 @@
+"""The embedded time-series store: folding, retention, sidecar, exact
+reconciliation against the cluster report, and byte-level determinism.
+
+The determinism tests are the acceptance criteria for the continuous-
+monitoring layer: two identical seeded traffic runs (including one with
+a mid-load node kill) must produce byte-identical ``.tsdb`` sidecars
+and identical alert event sequences, and the folded per-tenant latency
+quantiles must reconcile with **zero tolerance** against the
+``ClusterReport`` percentiles, heatmap-style.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.cluster.traffic import run_traffic, sample_profile
+from repro.faults import FaultEvent, FaultPlan
+from repro.obs import EventBus, MetricRegistry, NULL_TRACER, Observability
+from repro.obs.alerts import ClusterMonitor
+from repro.obs.registry import MetricRegistry as Registry
+from repro.obs.tsdb import (
+    Series,
+    TimeSeriesStore,
+    TSDB_VERSION,
+    reconcile_tsdb,
+    tsdb_prometheus_text,
+)
+
+
+def _bus_store(step=0.05, **kwargs):
+    """A store subscribed to a fresh bus, for event-folding tests."""
+    store = TimeSeriesStore(step=step, **kwargs)
+    bus = EventBus()
+    bus.subscribe(store.fold_event)
+    return store, bus
+
+
+# -- folding mechanics ------------------------------------------------------
+
+
+def test_counter_buckets_sum_increments():
+    store = TimeSeriesStore(step=0.1)
+    store.record_counter("hits", 0.01)
+    store.record_counter("hits", 0.09)
+    store.record_counter("hits", 0.11)
+    series = store.get("hits")
+    assert series.fine == {0: 2.0, 1: 1.0}
+    assert store.counter_total("hits") == 3.0
+    assert store.counter_total("hits", since=0.1) == 1.0
+    assert store.counter_total("hits", until=0.09) == 2.0
+
+
+def test_gauge_buckets_keep_last_value():
+    store = TimeSeriesStore(step=0.1)
+    store.record_gauge("depth", 0.02, 4.0)
+    store.record_gauge("depth", 0.08, 7.0)
+    assert store.get("depth").fine == {0: 7.0}
+    assert store.gauge_last("depth") == 7.0
+    assert store.gauge_last("depth", since=0.2) is None
+
+
+def test_hist_buckets_keep_exact_samples():
+    store = TimeSeriesStore(step=0.1)
+    for t, v in ((0.01, 0.5), (0.05, 0.2), (0.15, 0.9)):
+        store.record_hist("lat", t, v)
+    assert store.samples("lat") == [0.2, 0.5, 0.9]
+    assert store.samples("lat", until=0.1 - 1e-9) == [0.2, 0.5]
+    # points expose per-bucket sample counts
+    assert store.points("lat") == [(0.0, 2.0), (0.1, 1.0)]
+
+
+def test_labels_split_series_and_kind_label_is_allowed():
+    store = TimeSeriesStore()
+    store.record_counter("ev", 0.0, 1.0, kind="a")
+    store.record_counter("ev", 0.0, 1.0, kind="b")
+    assert store.counter_total("ev", kind="a") == 1.0
+    assert store.counter_total("ev", kind="b") == 1.0
+    assert store.counter_total("ev") == 0.0  # unlabeled series distinct
+    assert len(store) == 2
+
+
+def test_kind_conflict_rejected():
+    store = TimeSeriesStore()
+    store.record_counter("x", 0.0)
+    with pytest.raises(ValueError, match="already registered"):
+        store.record_gauge("x", 0.1, 1.0)
+
+
+def test_boundary_sample_lands_in_opening_bucket():
+    store = TimeSeriesStore(step=0.05)
+    # 3 * 0.05 is not exact in floats; the epsilon keeps it in bucket 3
+    store.record_counter("edge", 0.15000000000000002)
+    assert store.bucket_of(0.15) == 3
+    assert list(store.get("edge").fine) == [3]
+
+
+def test_fold_event_vocabulary():
+    store, bus = _bus_store()
+    bus.emit("cluster.start", sim_time=0.0, policy="fair", slots=8, jobs=3)
+    bus.emit("job.submitted", sim_time=0.01, tenant="etl")
+    bus.emit("admission.accept", sim_time=0.01, tenant="etl", splits=4)
+    bus.emit("admission.reject", sim_time=0.02, tenant="etl")
+    bus.emit("admission.shed", sim_time=0.03, tenant="etl")
+    bus.emit("job.finish", sim_time=0.30, tenant="etl",
+             outcome="completed", latency=0.29, deadline_miss=True)
+    bus.emit("job.finish", sim_time=0.31, tenant="etl", outcome="failed")
+    bus.emit("node.lost", sim_time=0.32, node=1)
+    bus.emit("cluster.finish", sim_time=0.40, utilization=0.5)
+    assert store.counter_total("cluster.jobs.submitted", tenant="etl") == 1
+    assert store.counter_total("cluster.jobs.rejected", tenant="etl") == 1
+    assert store.counter_total("cluster.jobs.shed", tenant="etl") == 1
+    assert store.counter_total("cluster.jobs.completed", tenant="etl") == 1
+    assert store.counter_total("cluster.jobs.failed", tenant="etl") == 1
+    assert store.counter_total(
+        "cluster.jobs.deadline_missed", tenant="etl"
+    ) == 1
+    assert store.counter_total("cluster.nodes.lost") == 1
+    assert store.samples("cluster.job.latency", tenant="etl") == [0.29]
+    assert store.gauge_last("cluster.slots") == 8.0
+    assert store.gauge_last("cluster.utilization") == 0.5
+    # every kind also lands in the cluster.events counter
+    assert store.counter_total("cluster.events", kind="job.finish") == 2
+    assert store.watermark == 0.40
+
+
+def test_fold_event_ignores_alert_and_slo_kinds_and_unstamped():
+    store, bus = _bus_store()
+    bus.emit("alert.firing", sim_time=0.1, alert="x")
+    bus.emit("slo.status", sim_time=0.1, slo="y")
+    bus.emit("job.submitted", tenant="etl")  # no sim_time
+    assert len(store) == 0
+
+
+def test_running_jobs_gauge_tracks_accept_and_finish():
+    store, bus = _bus_store()
+    bus.emit("admission.accept", sim_time=0.0, tenant="a")
+    bus.emit("admission.accept", sim_time=0.1, tenant="a")
+    assert store.gauge_last("cluster.jobs.running", tenant="a") == 2.0
+    bus.emit("job.finish", sim_time=0.2, tenant="a", outcome="completed",
+             latency=0.2)
+    assert store.gauge_last("cluster.jobs.running", tenant="a") == 1.0
+
+
+def test_ingest_registry_snapshot():
+    registry = Registry()
+    registry.counter("rows", unit="rows").inc(42)
+    store = TimeSeriesStore()
+    folded = store.ingest_registry(registry, t=0.5)
+    assert folded >= 1
+    assert store.gauge_last("registry.rows", unit="rows") == 42.0
+
+
+# -- retention + step-down downsampling -------------------------------------
+
+
+def test_retention_folds_fine_into_coarse():
+    store = TimeSeriesStore(step=0.1, retention=4, downsample=4)
+    for i in range(12):
+        store.record_counter("c", i * 0.1, 1.0)
+    series = store.get("c")
+    fine_buckets = set(series.fine)
+    assert min(fine_buckets) >= store.bucket_of(store.watermark) - 4
+    # nothing lost: the aged-out buckets live on in the coarse level
+    assert store.counter_total("c") == 12.0
+    assert series.coarse  # something actually folded
+
+
+def test_retention_preserves_hist_samples_and_gauge_latest():
+    store = TimeSeriesStore(step=0.1, retention=2, downsample=2)
+    for i in range(8):
+        store.record_hist("h", i * 0.1, float(i))
+        store.record_gauge("g", i * 0.1, float(i))
+    assert store.samples("h") == [float(i) for i in range(8)]
+    assert store.gauge_last("g") == 7.0
+
+
+def test_coarse_retention_drops_ancient_buckets():
+    store = TimeSeriesStore(
+        step=0.1, retention=1, downsample=1, coarse_retention=2
+    )
+    for i in range(10):
+        store.record_counter("c", i * 0.1, 1.0)
+    assert store.counter_total("c") < 10.0  # old coarse buckets deleted
+
+
+# -- sidecar round-trip, merge, torn-tail tolerance --------------------------
+
+
+def _small_store():
+    store = TimeSeriesStore(step=0.05, meta={"origin": "test"})
+    store.record_counter("c", 0.02, 2.0, tenant="a")
+    store.record_gauge("g", 0.04, 1.5)
+    store.record_hist("h", 0.06, 0.25, tenant="a")
+    store.alerts.append(
+        {"t": 0.05, "alert": "r", "transition": "firing", "kind": "static",
+         "value": 2.0, "threshold": 1.0}
+    )
+    store.statuses.append({"slo": "s", "healthy": True})
+    return store
+
+
+def test_sidecar_round_trip(tmp_path):
+    path = str(tmp_path / "run.tsdb")
+    store = _small_store()
+    store.save(path)
+    loaded, warnings = TimeSeriesStore.load(path)
+    assert warnings == []
+    assert loaded.meta["origin"] == "test"
+    assert loaded.counter_total("c", tenant="a") == 2.0
+    assert loaded.gauge_last("g") == 1.5
+    assert loaded.samples("h", tenant="a") == [0.25]
+    assert loaded.alerts[0]["alert"] == "r"
+    assert loaded.statuses[0]["slo"] == "s"
+    assert loaded.to_lines() == store.to_lines()
+
+
+def test_save_merges_existing_sidecar(tmp_path):
+    path = str(tmp_path / "acc.tsdb")
+    _small_store().save(path)
+    merged = _small_store().save(path)
+    assert merged.runs == 2
+    assert merged.counter_total("c", tenant="a") == 4.0  # counters sum
+    assert merged.gauge_last("g") == 1.5                 # gauges overwrite
+    assert merged.samples("h", tenant="a") == [0.25, 0.25]
+    assert len(merged.alerts) == 2
+    assert {a["run"] for a in merged.alerts} == {0, 1}
+    loaded, _ = TimeSeriesStore.load(path)
+    assert loaded.runs == 2
+
+
+def test_merge_rejects_step_mismatch():
+    a = TimeSeriesStore(step=0.05)
+    b = TimeSeriesStore(step=0.1)
+    with pytest.raises(ValueError, match="cannot merge"):
+        a.merge(b)
+
+
+def test_torn_final_line_dropped_with_warning(tmp_path):
+    path = str(tmp_path / "torn.tsdb")
+    lines = _small_store().to_lines()
+    text = "".join(json.dumps(l, sort_keys=True) + "\n" for l in lines)
+    text += '{"type": "series", "name": "torn'  # torn mid-record
+    with open(path, "wb") as handle:
+        handle.write(gzip.compress(text.encode(), 9, mtime=0))
+    loaded, warnings = TimeSeriesStore.load(path)
+    assert any("torn final record" in w for w in warnings)
+    assert loaded.counter_total("c", tenant="a") == 2.0
+
+
+def test_torn_gzip_stream_salvaged(tmp_path):
+    path = str(tmp_path / "cut.tsdb")
+    store = TimeSeriesStore()
+    for i in range(200):
+        store.record_counter("many", i * 0.05, 1.0, idx=str(i % 7))
+    store.save(path)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) - 40])  # tear the gzip frame
+    loaded, warnings = TimeSeriesStore.load(path)
+    assert any("torn" in w for w in warnings)
+    assert loaded.meta is not None  # header survived
+
+
+def test_early_malformed_line_is_hard_error(tmp_path):
+    path = str(tmp_path / "bad.tsdb")
+    lines = _small_store().to_lines()
+    text = json.dumps(lines[0], sort_keys=True) + "\n"
+    text += "not json at all\n"
+    text += json.dumps(lines[1], sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    with pytest.raises(ValueError, match="line 2"):
+        TimeSeriesStore.load(path)
+
+
+def test_load_rejects_wrong_format_and_version(tmp_path):
+    path = str(tmp_path / "wrong.tsdb")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta", "format": "wal"}) + "\n")
+    with pytest.raises(ValueError, match="not a tsdb"):
+        TimeSeriesStore.load(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(
+            {"type": "meta", "format": "tsdb", "v": TSDB_VERSION + 1}
+        ) + "\n")
+    with pytest.raises(ValueError, match="version"):
+        TimeSeriesStore.load(path)
+
+
+def test_series_round_trip_preserves_coarse_level():
+    series = Series("s", "hist", {"tenant": "a"})
+    series.observe(3, 0.5, 0.3)
+    series.fold_coarse(0, [0.1, 0.2])
+    rebuilt = Series.from_dict(series.to_dict())
+    assert rebuilt.fine == {3: [0.5]}
+    assert rebuilt.coarse == {0: [0.1, 0.2]}
+    assert rebuilt.last_t == 0.3
+
+
+# -- real traffic: reconciliation + determinism ------------------------------
+
+
+def _monitored_run(faults=None, tsdb_path=None):
+    profile = sample_profile()
+    policy = profile.cluster_policy()
+    bus = EventBus()
+    monitor = ClusterMonitor.for_policy(policy).attach(bus)
+    lifecycle = []
+    bus.subscribe(
+        lambda e: lifecycle.append((e.kind, e.sim_time, dict(e.attrs)))
+        if e.kind.startswith(("alert.", "slo.")) else None
+    )
+    obs = Observability(NULL_TRACER, MetricRegistry(), enabled=True, bus=bus)
+    report = run_traffic(profile, obs=obs, faults=faults)
+    if tsdb_path is not None:
+        monitor.save(tsdb_path, merge=False)
+    return monitor, report, lifecycle
+
+
+def _kill_plan():
+    return FaultPlan(
+        [FaultEvent("kill_node", node=1, at_time=0.35)],
+        seed=sample_profile().seed,
+    )
+
+
+def test_tsdb_reconciles_exactly_with_cluster_report():
+    monitor, report, _ = _monitored_run()
+    assert reconcile_tsdb(monitor.store, report) == []
+
+
+def test_tsdb_reconciles_under_chaos():
+    monitor, report, _ = _monitored_run(faults=_kill_plan())
+    assert reconcile_tsdb(monitor.store, report) == []
+    assert monitor.store.counter_total("cluster.nodes.lost") == 1.0
+
+
+def test_reconcile_reports_mismatch_when_tampered():
+    monitor, report, _ = _monitored_run()
+    series = monitor.store.get("cluster.jobs.completed", tenant="etl")
+    bucket = next(iter(series.fine))
+    series.fine[bucket] += 1.0
+    problems = reconcile_tsdb(monitor.store, report)
+    assert problems
+    assert any("etl completed" in p for p in problems)
+
+
+def test_identical_runs_produce_byte_identical_sidecars(tmp_path):
+    a = str(tmp_path / "a.tsdb")
+    b = str(tmp_path / "b.tsdb")
+    _monitored_run(tsdb_path=a)
+    _monitored_run(tsdb_path=b)
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_identical_chaos_runs_are_deterministic(tmp_path):
+    a = str(tmp_path / "a.tsdb")
+    b = str(tmp_path / "b.tsdb")
+    _, _, events_a = _monitored_run(faults=_kill_plan(), tsdb_path=a)
+    _, _, events_b = _monitored_run(faults=_kill_plan(), tsdb_path=b)
+    assert open(a, "rb").read() == open(b, "rb").read()
+    assert events_a == events_b
+    assert events_a  # the monitored run actually alerted
+
+
+def test_alert_event_sequences_identical_across_runs():
+    _, _, events_a = _monitored_run()
+    _, _, events_b = _monitored_run()
+    assert events_a == events_b
+    transitions = [k for k, _, _ in events_a if k.startswith("alert.")]
+    assert "alert.firing" in transitions
+    assert "alert.resolved" in transitions
+
+
+def test_monitoring_is_a_pure_observer():
+    """Bare vs monitored runs of the same profile: identical timeline."""
+    bare = run_traffic(sample_profile(), policy="fair")
+    _, monitored, _ = _monitored_run()
+    assert monitored.makespan == bare.makespan
+    assert [o.to_dict() for o in monitored.outcomes] == [
+        o.to_dict() for o in bare.outcomes
+    ]
+
+
+# -- Prometheus export -------------------------------------------------------
+
+
+def test_tsdb_prometheus_text_round_trips():
+    from repro.obs.export import parse_prometheus_text
+
+    monitor, _, _ = _monitored_run()
+    payload = tsdb_prometheus_text(monitor.store)
+    parsed = parse_prometheus_text(payload)
+    assert parsed
+    assert "repro_cluster_jobs_completed_total" in payload
+    assert 'quantile="0.95"' in payload
+
+
+def test_tsdb_prometheus_time_range_filters():
+    store = TimeSeriesStore(step=0.1)
+    store.record_counter("c", 0.05, 1.0)
+    store.record_counter("c", 0.55, 5.0)
+    full = tsdb_prometheus_text(store)
+    early = tsdb_prometheus_text(store, until=0.2)
+    late = tsdb_prometheus_text(store, since=0.5)
+    assert " 6" in full
+    assert " 1" in early
+    assert " 5" in late
