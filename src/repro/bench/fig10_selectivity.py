@@ -42,19 +42,59 @@ def _dataset(records: int, selectivity: float, seed: int = 10):
     return out
 
 
-def _aggregate(fs, dataset: str, lazy: bool) -> "tuple[float, int, int]":
-    fmt = ColumnInputFormat(dataset, columns=["str0", "attrs"], lazy=lazy)
+def _aggregate(
+    fs, dataset: str, lazy: bool, execution: "str | None" = None
+) -> "tuple[float, int, int]":
+    metrics, total, matches = aggregate_metrics(fs, dataset, lazy, execution)
+    return metrics.task_time, total, matches
+
+
+def aggregate_metrics(
+    fs, dataset: str, lazy: bool, execution: "str | None" = None
+):
+    """The Fig-10 aggregation; returns ``(Metrics, sum, match_count)``.
+
+    Both executions compute the identical answer and charge identical
+    simulated cost; the vectorized path pushes the pattern filter down
+    as a selection kernel and folds the surviving map values.
+    """
+    from repro.core.vector import resolve_execution
+
+    execution = resolve_execution(execution)
+    fmt = ColumnInputFormat(
+        dataset, columns=["str0", "attrs"], lazy=lazy, execution=execution
+    )
     ctx = harness.make_context(fs)
     total = 0
     matches = 0
-    for split in fmt.get_splits(fs, fs.cluster):
-        for _, record in fmt.open_reader(fs, split, ctx):
-            text = record.get("str0")
-            ctx.charge_predicate(text)
-            if PATTERN in text:
-                total += record.get("attrs")[MAP_KEY]
-                matches += 1
-    return ctx.metrics.task_time, total, matches
+    if execution == "vectorized":
+        from repro.core.vector import fold_aggregate
+        from repro.query.aggregates import sum_
+        from repro.query.expr import col
+
+        fmt.set_filter(col("str0").contains(PATTERN))
+        folder = sum_(col("attrs"))
+        for split in fmt.get_splits(fs, fs.cluster):
+            reader = fmt.open_reader(fs, split, ctx)
+            while True:
+                frame = reader.read_batch()
+                if frame is None:
+                    break
+                survivors = frame.selection
+                values = [
+                    frame.get_value("attrs", i)[MAP_KEY] for i in survivors
+                ]
+                total = fold_aggregate(folder, values, total)
+                matches += len(survivors)
+    else:
+        for split in fmt.get_splits(fs, fs.cluster):
+            for _, record in fmt.open_reader(fs, split, ctx):
+                text = record.get("str0")
+                ctx.charge_predicate(text)
+                if PATTERN in text:
+                    total += record.get("attrs")[MAP_KEY]
+                    matches += 1
+    return ctx.metrics, total, matches
 
 
 @dataclass

@@ -23,6 +23,11 @@ Metric-key conventions (direction is encoded in the key prefix):
 - ``count.*`` — logical results (records scanned, query answers);
   compared **exactly**, any change is a regression (it means the
   reproduction's *answers* changed, not just its speed).
+- ``wall.*`` — real wall-clock milliseconds/ratios (the one exception
+  to "everything is simulated": the vectorized-engine benchmark times
+  actual Python execution).  Machine-dependent, so these are
+  **recorded but never gated**; the deterministic gate for wall-time
+  scenarios is a ``count.*_floor_met`` flag computed at run time.
 
 File schema (``BENCH_<name>.json``)::
 
@@ -49,14 +54,17 @@ DEFAULT_REL_TOL = 0.02
 _LOWER_BETTER = ("time.", "bytes.", "seeks.")
 _HIGHER_BETTER = ("ratio.", "bandwidth.", "fraction.")
 _EXACT = ("count.",)
+_INFO = ("wall.",)
 
 
 def direction_of(key: str) -> str:
-    """``lower`` | ``higher`` | ``exact`` from the metric-key prefix."""
+    """``lower`` | ``higher`` | ``exact`` | ``info`` from the prefix."""
     if key.startswith(_LOWER_BETTER):
         return "lower"
     if key.startswith(_HIGHER_BETTER):
         return "higher"
+    if key.startswith(_INFO):
+        return "info"
     if key.startswith(_EXACT):
         return "exact"
     return "exact"
@@ -334,6 +342,30 @@ def _extract_cluster_slo(result) -> Dict[str, float]:
     return out
 
 
+def _extract_vector_scan(result) -> Dict[str, float]:
+    from repro.bench.vector_scan import SAME_LAYOUT_FLOOR, SPEEDUP_FLOOR
+
+    out: Dict[str, float] = {}
+    for leg, ms in sorted(result.wall_ms.items()):
+        out[f"wall.{leg}_ms"] = ms
+    out["wall.speedup"] = result.speedup
+    out["wall.speedup_eager"] = result.speedup_eager
+    out["wall.speedup_lazy"] = result.speedup_lazy
+    # The deterministic gates: floors met, answers, zero reconcile
+    # mismatches between the scalar and vectorized engines.
+    out["count.speedup_floor_met"] = int(result.speedup >= SPEEDUP_FLOOR)
+    out["count.same_layout_floor_met"] = int(
+        result.speedup_eager >= SAME_LAYOUT_FLOOR
+        and result.speedup_lazy >= SAME_LAYOUT_FLOOR
+    )
+    out["count.reconcile_mismatches"] = len(result.mismatches)
+    out["count.answer"] = result.answer
+    out["count.matches"] = result.matches
+    for leg, seconds in sorted(result.simulated.items()):
+        out[f"time.simulated.{leg}"] = seconds
+    return out
+
+
 def _lazy(module: str):
     """Defer the scenario import so ``repro bench --help`` stays fast."""
 
@@ -422,6 +454,12 @@ _register(
     {"duration": 1.0, "seed": 20110401, "kill_time": 0.35, "kill_node": 1},
     _extract_cluster_recovery,
     "mid-run node kill: map-output re-execution + speculation overhead",
+)
+_register(
+    "vector_scan", "vector_scan",
+    {"records": 3000, "selectivity": 0.05, "reps": 3},
+    _extract_vector_scan,
+    "vectorized vs scalar scan wall clock on the Fig-10 query",
 )
 _register(
     "cluster_slo", "cluster_slo",
@@ -619,6 +657,9 @@ def compare(
         new = fresh_metrics.get(key)
         if base is None:
             severity = "new"
+        elif direction == "info":
+            # wall-clock numbers vary by machine; record, never gate
+            severity = "ok"
         elif new is None:
             severity = "regression"
         elif direction == "exact":

@@ -186,6 +186,7 @@ def _cif_config(
     name: str,
     spec_fn: Callable[[Schema], Tuple[dict, Optional[ColumnSpec]]],
     skip_reason=lambda case: None,
+    execution: str = "scalar",
 ) -> StorageConfig:
     def write(fs, path, schema, records):
         specs, default_spec = spec_fn(schema)
@@ -198,10 +199,12 @@ def _cif_config(
         # target a real column file, not the split's .schema sidecar
         return f"s0/{schema.fields[0].name}"
 
+    # Small batches so even tiny cases cross frame boundaries.
     return StorageConfig(
         name=name, kind="cif", write=write,
         make_input=lambda path, columns, lazy: ColumnInputFormat(
-            path, columns=columns, lazy=lazy
+            path, columns=columns, lazy=lazy,
+            execution=execution, batch_rows=7,
         ),
         corrupt_suffix=corrupt_suffix,
         lazy_capable=True,
@@ -265,6 +268,30 @@ def matrix_configs(matrix: str) -> List[StorageConfig]:
     )
     light = _cif_config("cif-light", _light_specs)
     dcsl = _cif_config("cif-dcsl", _dcsl_specs, skip_reason=_has_map)
+    # Vectorized legs: same layouts drained through the batch layer.
+    plain_vec = _cif_config(
+        "cif-plain-vec", lambda schema: ({}, ColumnSpec("plain")),
+        execution="vectorized",
+    )
+    skiplist_vec = _cif_config(
+        "cif-skiplist-vec",
+        lambda schema: ({}, ColumnSpec("skiplist", skip_sizes=SKIP_SIZES)),
+        execution="vectorized",
+    )
+    zlib_vec = _cif_config(
+        "cif-zlib-vec",
+        lambda schema: (
+            {}, ColumnSpec("cblock", codec="zlib", block_bytes=CBLOCK_BYTES)
+        ),
+        execution="vectorized",
+    )
+    light_vec = _cif_config(
+        "cif-light-vec", _light_specs, execution="vectorized"
+    )
+    dcsl_vec = _cif_config(
+        "cif-dcsl-vec", _dcsl_specs, skip_reason=_has_map,
+        execution="vectorized",
+    )
 
     if matrix == "quick":
         return [
@@ -272,6 +299,7 @@ def matrix_configs(matrix: str) -> List[StorageConfig]:
             _rcfile_config("rcfile-zlib", "zlib"),
             zlib,
             dcsl,
+            skiplist_vec,
         ]
     if matrix == "full":
         return [
@@ -288,6 +316,11 @@ def matrix_configs(matrix: str) -> List[StorageConfig]:
             zlib,
             light,
             dcsl,
+            plain_vec,
+            skiplist_vec,
+            zlib_vec,
+            light_vec,
+            dcsl_vec,
         ]
     raise ValueError(f"unknown matrix {matrix!r} (use 'quick' or 'full')")
 

@@ -17,7 +17,11 @@ Replica co-location (CPP) lives in :mod:`repro.hdfs.placement`; install
 it with ``fs.use_column_placement()`` before loading.
 """
 
-from repro.core.cif import CIFSplit, ColumnInputFormat
+from repro.core.cif import (
+    CIFSplit,
+    ColumnInputFormat,
+    VectorizedCIFRecordReader,
+)
 from repro.core.cof import (
     ColumnOutputFormat,
     add_column,
@@ -28,6 +32,13 @@ from repro.core.columnio import ColumnSpec
 from repro.core.lazy import LazyRecord
 from repro.core.loader import ParallelLoadReport, parallel_load
 from repro.core.partitions import PartitionedDataset
+from repro.core.vector import (
+    VectorFrame,
+    default_execution,
+    reconcile_metrics,
+    resolve_execution,
+    set_default_execution,
+)
 
 __all__ = [
     "CIFSplit",
@@ -37,8 +48,14 @@ __all__ = [
     "LazyRecord",
     "ParallelLoadReport",
     "PartitionedDataset",
+    "VectorFrame",
+    "VectorizedCIFRecordReader",
     "add_column",
     "declare_column",
+    "default_execution",
     "parallel_load",
+    "reconcile_metrics",
+    "resolve_execution",
+    "set_default_execution",
     "write_dataset",
 ]

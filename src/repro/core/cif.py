@@ -28,6 +28,14 @@ from repro.core.stats import (
     split_satisfiable,
 )
 from repro.core.lazy import LazyRecord
+from repro.core.vector import (
+    DEFAULT_BATCH_ROWS,
+    CellLedger,
+    VectorFrame,
+    compile_predicate,
+    full_selection,
+    resolve_execution,
+)
 from repro.mapreduce.types import InputFormat, InputSplit, RecordReader, TaskContext
 from repro.serde.record import Record
 from repro.serde.schema import Schema
@@ -180,6 +188,135 @@ class CIFRecordReader(RecordReader):
         return None, record
 
 
+class VectorizedCIFRecordReader(CIFRecordReader):
+    """Batch-decoding CIF reader (the ``execution="vectorized"`` path).
+
+    Decodes column frames of up to ``batch_rows`` records with the
+    whole-vector ``read_vector`` fast paths and supports two mutually
+    exclusive drain styles:
+
+    - **row iteration** (:meth:`read_next`): a drop-in for
+      :class:`CIFRecordReader` that yields :class:`~repro.core.vector.
+      VectorRow` views.  Lazy-materialization accounting replicates
+      :class:`~repro.core.lazy.LazyRecord` exactly — a row's untouched
+      columns settle as ``cells.skipped`` when the *next* row of the
+      same directory is read, and a directory's final row never
+      settles.
+    - **batch iteration** (:meth:`read_batch`): returns whole
+      :class:`~repro.core.vector.VectorFrame` objects with any pushed
+      filters already applied to ``frame.selection``; record counts are
+      charged per frame here (row iteration leaves that to
+      ``RecordReader.__iter__``).
+
+    Frames never span split-directories, so every frame reads one
+    contiguous row range of one directory's column files.
+    """
+
+    def __init__(
+        self,
+        fs,
+        split: CIFSplit,
+        columns: Optional[Sequence[str]],
+        lazy: bool,
+        ctx: TaskContext,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        filters: Optional[Sequence] = None,
+    ) -> None:
+        super().__init__(fs, split, columns, lazy, ctx)
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        self._batch_rows = batch_rows
+        self._filters = list(filters or [])
+        self._programs = None
+        self._mode: Optional[str] = None
+        self._ledger: Optional[CellLedger] = None
+        self._frame: Optional[VectorFrame] = None
+        self._frame_last = False  # frame ends its directory
+        self._frame_row = 0  # next row to yield (row-iteration mode)
+        self._pending = None  # (frame, row) awaiting lazy settle
+
+    def _next_frame(self) -> Optional[VectorFrame]:
+        while self._cursor >= self._count:
+            if not self._open_next_dir():
+                self._frame = None
+                return None
+            for column_reader in self._readers.values():
+                column_reader.batch_kernels = True
+            self._ledger = (
+                CellLedger(self._readers, self.ctx.obs) if self._lazy else None
+            )
+        start = self._cursor
+        length = min(self._batch_rows, self._count - start)
+        self._cursor += length
+        frame = VectorFrame(
+            self._readers, self._schema, start, length, self.ctx,
+            ledger=self._ledger,
+        )
+        self._frame = frame
+        self._frame_last = self._cursor >= self._count
+        self._frame_row = 0
+        if not self._lazy:
+            # Eager materialization decodes every projected column —
+            # same cells as the scalar eager path, charged frame-wise.
+            sel = full_selection(length)
+            for name in self._readers:
+                frame.column(name, sel)
+        return frame
+
+    def read_next(self):
+        if self._mode == "batches":
+            raise RuntimeError(
+                "reader is being drained with read_batch(); "
+                "row iteration cannot be mixed in"
+            )
+        self._mode = "rows"
+        frame = self._frame
+        if frame is None or self._frame_row >= frame.length:
+            frame = self._next_frame()
+            if frame is None:
+                return None
+        row = self._frame_row
+        self._frame_row = row + 1
+        pending = self._pending
+        if pending is not None:
+            prev_frame, prev_row = pending
+            if prev_frame.ledger is not None:
+                prev_frame.ledger.settle_row(prev_frame, prev_row)
+        # A directory's final row is never settled (LazyRecord parity).
+        dir_last = self._frame_last and row == frame.length - 1
+        self._pending = None if dir_last else (frame, row)
+        if frame.ledger is not None:
+            frame.ledger.on_rows(1)
+        return None, frame.row(row)
+
+    def read_batch(self) -> Optional[VectorFrame]:
+        """Next frame with filters applied, or ``None`` at end of split."""
+        if self._mode == "rows":
+            raise RuntimeError(
+                "reader is being drained with read_next(); "
+                "batch iteration cannot be mixed in"
+            )
+        if self._mode is None:
+            self._mode = "batches"
+            self._programs = [compile_predicate(f) for f in self._filters]
+        prev, prev_last = self._frame, self._frame_last
+        if prev is not None and prev.ledger is not None:
+            prev.ledger.settle_frame(prev, exclude_last=prev_last)
+        frame = self._next_frame()
+        if frame is None:
+            return None
+        self.ctx.metrics.records += frame.length
+        if frame.ledger is not None:
+            frame.ledger.on_rows(frame.length)
+        sel = frame.selection
+        for program in self._programs:
+            if not sel:
+                break
+            sel = program.run(frame, sel, self.ctx)
+        frame.selection = sel
+        return frame
+
+
 class ColumnInputFormat(InputFormat):
     """CIF: projection push-down plus split-directory-granular splits.
 
@@ -195,6 +332,8 @@ class ColumnInputFormat(InputFormat):
         lazy: bool = True,
         dirs_per_split: int = 1,
         predicates: Optional[Sequence[RangePredicate]] = None,
+        execution: Optional[str] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
     ) -> None:
         if dirs_per_split < 1:
             raise ValueError("dirs_per_split must be >= 1")
@@ -205,6 +344,13 @@ class ColumnInputFormat(InputFormat):
         self.lazy = lazy
         self.dirs_per_split = dirs_per_split
         self.predicates: List[RangePredicate] = list(predicates or [])
+        #: "scalar" | "vectorized" | None (None defers to the ambient
+        #: default set by repro.core.vector.set_default_execution)
+        self.execution = execution
+        if execution is not None:
+            resolve_execution(execution)  # validate eagerly
+        self.batch_rows = batch_rows
+        self.filters: List = []
         #: split-directories pruned by zone maps on the last get_splits
         self.pruned_dirs = 0
 
@@ -266,5 +412,21 @@ class ColumnInputFormat(InputFormat):
         # Dot-files (.schema, .stats) are metadata, not columns.
         return [c for c in fs.listdir(split_dir) if not c.startswith(".")]
 
+    def set_filter(self, *exprs) -> None:
+        """Push full row filters (:class:`repro.query.expr.Expr`) down.
+
+        Unlike :meth:`set_predicates` (zone-map pruning only), these
+        filter records: the vectorized reader applies them as selection
+        kernels in :meth:`VectorizedCIFRecordReader.read_batch`.  The
+        scalar path ignores them — scalar callers still filter per
+        record, exactly as before.
+        """
+        self.filters = list(exprs)
+
     def open_reader(self, fs, split: CIFSplit, ctx: TaskContext) -> RecordReader:
+        if resolve_execution(self.execution) == "vectorized":
+            return VectorizedCIFRecordReader(
+                fs, split, self.columns, self.lazy, ctx,
+                batch_rows=self.batch_rows, filters=self.filters,
+            )
         return CIFRecordReader(fs, split, self.columns, self.lazy, ctx)

@@ -53,6 +53,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.compress.codecs import get_codec
 from repro.compress.dictionary import KeyDictionary
 from repro.mapreduce.types import TaskContext
+from repro.serde import vecdecode
 from repro.serde.binary import BinaryDecoder, BinaryEncoder
 from repro.serde.schema import Schema, SchemaError
 from repro.util.buffers import ByteReader, ByteWriter
@@ -247,6 +248,103 @@ def _build_dcsl_region(
 # ---------------------------------------------------------------------------
 
 
+def _batch_decode_values(reader, field_schema: Schema, k: int, ctx):
+    """Decode ``k`` consecutive plainly-encoded values off ``reader``
+    with batched cost charges.
+
+    Returns ``(tag, payload)`` for primitive kinds, ``None`` for
+    container kinds (callers fall back to per-value decoding).  The
+    charges are the exact sums of ``k`` scalar ``read_datum`` calls —
+    the cost model is linear, so integer side effects (cells, objects)
+    are identical and cpu_time differs only by float re-association.
+    """
+    kind = field_schema.kind
+    cost, metrics = ctx.cost, ctx.metrics
+    profile = cost.profile
+    start = reader.offset
+    if kind in _INTEGER_KINDS:
+        values = vecdecode.read_zigzags(reader, k)
+        per = profile.int_decode if kind == "int" else profile.long_decode
+        metrics.cells += k
+        metrics.charge_cpu(
+            k * per + (reader.offset - start) * profile.raw_scan_per_byte
+        )
+        return ("num", values)
+    if kind == "double":
+        values = vecdecode.read_doubles(reader, k)
+        metrics.cells += k
+        metrics.charge_cpu(
+            k * profile.double_decode
+            + (reader.offset - start) * profile.raw_scan_per_byte
+        )
+        return ("double", values)
+    if kind == "boolean":
+        values = vecdecode.read_booleans(reader, k)
+        metrics.cells += k
+        metrics.charge_cpu(
+            k * profile.bool_decode
+            + (reader.offset - start) * profile.raw_scan_per_byte
+        )
+        return ("obj", values)
+    if kind == "string":
+        chunks = vecdecode.read_chunks(reader, k)
+        payload = sum(map(len, chunks))
+        metrics.cells += k
+        metrics.objects += k
+        metrics.charge_cpu(
+            k * profile.string_decode_base
+            + payload * profile.string_decode_per_byte
+            + (reader.offset - start) * profile.raw_scan_per_byte
+        )
+        return ("str", chunks)
+    if kind == "bytes":
+        values = vecdecode.read_chunks(reader, k)
+        payload = sum(map(len, values))
+        metrics.cells += k
+        metrics.objects += k
+        metrics.charge_cpu(
+            k * profile.bytes_decode_base
+            + payload * profile.bytes_decode_per_byte
+            + (reader.offset - start) * profile.raw_scan_per_byte
+        )
+        return ("obj", values)
+    if vecdecode.map_batch_supported(field_schema):
+        values = vecdecode.read_maps(reader, field_schema, k, cost, metrics)
+        return ("obj", values)
+    return None
+
+
+class _VectorBuilder:
+    """Accumulates (possibly several segments of) decoded values and
+    finishes them into the right typed vector."""
+
+    def __init__(self) -> None:
+        self._tag: Optional[str] = None
+        self._data: list = []
+
+    def add(self, tagged) -> None:
+        tag, payload = tagged
+        if self._tag is None:
+            self._tag = tag
+        self._data.extend(payload)
+
+    def add_objects(self, values) -> None:
+        if self._tag is None:
+            self._tag = "obj"
+        self._data.extend(values)
+
+    def finish(self):
+        from repro.core import vector as _vector
+
+        if self._tag == "num":
+            return _vector.NumericVector.build(self._data, "q")
+        if self._tag == "double":
+            return _vector.NumericVector.build(self._data, "d")
+        if self._tag == "str":
+            return _vector.StringVector.from_chunks(self._data)
+        return _vector.ObjectVector(self._data)
+
+
 class ColumnReader:
     """Positioned reader over one column file.
 
@@ -271,6 +369,11 @@ class ColumnReader:
         self.ctx = ctx
         self.labels = dict(labels or {})
         self.next_index = 0
+        #: vectorized execution flips this on to route skips through the
+        #: batched kernels in :mod:`repro.serde.vecdecode`; the scalar
+        #: path keeps the per-datum reference walk.  Charges are
+        #: identical either way (the differential layer proves it).
+        self.batch_kernels = False
         self._decoder = BinaryDecoder(reader, ctx.cost, ctx.metrics)
         registry = ctx.obs.registry
         self._obs_rows_read = registry.counter(
@@ -299,6 +402,44 @@ class ColumnReader:
     def read_value(self):
         raise NotImplementedError
 
+    def _read_datum_fast(self, reader=None, decoder=None):
+        """One datum via the batched map kernel when enabled (sparse
+        gathers hit this per survivor); charge-identical to
+        ``read_datum`` either way."""
+        if self.batch_kernels and vecdecode.map_batch_supported(
+            self.field_schema
+        ):
+            return vecdecode.read_maps(
+                reader if reader is not None else self.reader,
+                self.field_schema, 1, self.ctx.cost, self.ctx.metrics,
+            )[0]
+        return (decoder if decoder is not None else self._decoder).read_datum(
+            self.field_schema
+        )
+
+    def read_vector(self, n: int):
+        """Decode the next ``n`` values into a typed vector.
+
+        Charge-identical to ``n`` consecutive :meth:`read_value` calls
+        (the vectorized execution contract).  Layouts override this
+        with batched fast paths; this generic version is always
+        correct, so any reader is batch-capable.
+        """
+        from repro.core.vector import ObjectVector
+
+        self._check_read_vector(n)
+        read_value = self.read_value
+        return ObjectVector([read_value() for _ in range(n)])
+
+    def _check_read_vector(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("cannot read a negative number of values")
+        if self.next_index + n > self.count:
+            raise EOFError(
+                f"read of {n} values at {self.next_index} past column "
+                f"end {self.count}"
+            )
+
     def _check_bounds(self, n: int) -> None:
         """Validate a skip of ``n`` rows and account it to the heatmap.
 
@@ -321,17 +462,35 @@ class PlainColumnReader(ColumnReader):
 
     def skip(self, n: int) -> None:
         self._check_bounds(n)
-        for _ in range(n):
-            self._decoder.skip_datum(self.field_schema)
+        if not (
+            self.batch_kernels
+            and vecdecode.skip_batch(
+                self.reader, self.field_schema, n,
+                self.ctx.cost, self.ctx.metrics,
+            )
+        ):
+            for _ in range(n):
+                self._decoder.skip_datum(self.field_schema)
         self.next_index += n
 
     def read_value(self):
         if self.next_index >= self.count:
             raise EOFError("read past column end")
-        value = self._decoder.read_datum(self.field_schema)
+        value = self._read_datum_fast()
         self.next_index += 1
         self._obs_rows_read.inc()
         return value
+
+    def read_vector(self, n: int):
+        self._check_read_vector(n)
+        decoded = _batch_decode_values(self.reader, self.field_schema, n, self.ctx)
+        if decoded is None:  # container kinds: per-value decode is exact
+            return super().read_vector(n)
+        builder = _VectorBuilder()
+        builder.add(decoded)
+        self.next_index += n
+        self._obs_rows_read.inc(n)
+        return builder.finish()
 
 
 class SkipListColumnReader(ColumnReader):
@@ -371,6 +530,7 @@ class SkipListColumnReader(ColumnReader):
 
     def skip(self, n: int) -> None:
         self._check_bounds(n)
+        smallest = self.sizes[-1]
         while n > 0:
             jumped = False
             for level, size in enumerate(self.sizes):
@@ -390,9 +550,16 @@ class SkipListColumnReader(ColumnReader):
                     self._consume_dictionary()
             if jumped:
                 continue
-            self._skip_one_value()
-            self.next_index += 1
-            n -= 1
+            # Values are contiguous until the next bottom-block
+            # boundary (where headers must be consumed again).
+            run = min(n, smallest - self.next_index % smallest)
+            if not (
+                run > 1 and self.batch_kernels and self._batch_skip_run(run)
+            ):
+                run = 1
+                self._skip_one_value()
+            self.next_index += run
+            n -= run
 
     def read_value(self):
         if self.next_index >= self.count:
@@ -408,12 +575,50 @@ class SkipListColumnReader(ColumnReader):
         self._obs_rows_read.inc()
         return value
 
+    def read_vector(self, n: int):
+        """Batched read: consume block headers at boundaries exactly as
+        ``n`` scalar reads would, decoding bottom blocks in tight runs."""
+        self._check_read_vector(n)
+        builder = _VectorBuilder()
+        smallest = self.sizes[-1]
+        remaining = n
+        while remaining:
+            for level, size in enumerate(self.sizes):
+                if self.next_index % size == 0:
+                    self._consume_block_header(level)
+                    if level == 0 and self.has_dictionaries:
+                        self._consume_dictionary()
+            step = min(remaining, smallest - self.next_index % smallest)
+            decoded = (
+                None if self.has_dictionaries
+                else _batch_decode_values(
+                    self.reader, self.field_schema, step, self.ctx
+                )
+            )
+            if decoded is None:
+                decode = self._decode_one_value
+                builder.add_objects([decode() for _ in range(step)])
+            else:
+                builder.add(decoded)
+            self.next_index += step
+            remaining -= step
+        self._obs_rows_read.inc(n)
+        return builder.finish()
+
     # Hook points so DCSL can change the value encoding only.
     def _skip_one_value(self) -> None:
         self._decoder.skip_datum(self.field_schema)
 
+    def _batch_skip_run(self, run: int) -> bool:
+        """Skip ``run`` contiguous in-block values in one kernel call;
+        charge-identical to ``run`` calls of :meth:`_skip_one_value`."""
+        return vecdecode.skip_batch(
+            self.reader, self.field_schema, run,
+            self.ctx.cost, self.ctx.metrics,
+        )
+
     def _decode_one_value(self):
-        return self._decoder.read_datum(self.field_schema)
+        return self._read_datum_fast()
 
 
 class DcslColumnReader(SkipListColumnReader):
@@ -446,6 +651,12 @@ class DcslColumnReader(SkipListColumnReader):
             self._decoder.skip_datum(self.field_schema.values)
         self.ctx.cost.charge_raw_scan(
             self.ctx.metrics, reader.offset - start
+        )
+
+    def _batch_skip_run(self, run: int) -> bool:
+        return vecdecode.skip_dcsl_batch(
+            self.reader, self.field_schema.values, run,
+            self.ctx.cost, self.ctx.metrics,
         )
 
 
@@ -532,8 +743,16 @@ class CBlockColumnReader(ColumnReader):
                 )
                 self._block_remaining = block_count
             step = min(n, self._block_remaining)
-            for _ in range(step):
-                self._block_decoder.skip_datum(self.field_schema)
+            if not (
+                self.batch_kernels
+                and step > 1
+                and vecdecode.skip_batch(
+                    self._block_reader, self.field_schema, step,
+                    self.ctx.cost, self.ctx.metrics,
+                )
+            ):
+                for _ in range(step):
+                    self._block_decoder.skip_datum(self.field_schema)
             self._block_remaining -= step
             self.next_index += step
             n -= step
@@ -543,11 +762,38 @@ class CBlockColumnReader(ColumnReader):
             raise EOFError("read past column end")
         if self._block_remaining == 0:
             self._open_block()
-        value = self._block_decoder.read_datum(self.field_schema)
+        value = self._read_datum_fast(
+            reader=self._block_reader, decoder=self._block_decoder
+        )
         self._block_remaining -= 1
         self.next_index += 1
         self._obs_rows_read.inc()
         return value
+
+    def read_vector(self, n: int):
+        """Batched read: inflate blocks lazily as scalar reads would,
+        then decode each open block's values in one tight run."""
+        self._check_read_vector(n)
+        builder = _VectorBuilder()
+        remaining = n
+        while remaining:
+            if self._block_remaining == 0:
+                self._open_block()
+            step = min(remaining, self._block_remaining)
+            decoded = _batch_decode_values(
+                self._block_reader, self.field_schema, step, self.ctx
+            )
+            if decoded is None:
+                decode = self._block_decoder.read_datum
+                schema = self.field_schema
+                builder.add_objects([decode(schema) for _ in range(step)])
+            else:
+                builder.add(decoded)
+            self._block_remaining -= step
+            self.next_index += step
+            remaining -= step
+        self._obs_rows_read.inc(n)
+        return builder.finish()
 
 
 class DefaultColumnReader(ColumnReader):
@@ -617,6 +863,37 @@ class RleColumnReader(ColumnReader):
         self._obs_rows_read.inc()
         return self._run_value
 
+    def read_vector(self, n: int):
+        """Batched read into a RunsVector: one decode per run, one
+        re-emit charge per additional row — and downstream filters
+        evaluate once per run, never touching individual rows."""
+        from repro.core.vector import RunsVector
+
+        self._check_read_vector(n)
+        cost, metrics = self.ctx.cost, self.ctx.metrics
+        values: list = []
+        starts: list = []
+        produced = 0
+        while produced < n:
+            if self._run_remaining == 0:
+                # opening charges the decode; the first row re-emits free
+                self._open_run()
+                take = min(n - produced, self._run_remaining)
+                reemits = take - 1
+            else:
+                take = min(n - produced, self._run_remaining)
+                reemits = take
+            values.append(self._run_value)
+            starts.append(produced)
+            if reemits:
+                cost.charge_dictionary_lookup(metrics, reemits)
+                metrics.cells += reemits
+            self._run_remaining -= take
+            produced += take
+        self.next_index += n
+        self._obs_rows_read.inc(n)
+        return RunsVector(values, starts, n)
+
     def skip(self, n: int) -> None:
         self._check_bounds(n)
         while n > 0:
@@ -661,6 +938,29 @@ class DeltaColumnReader(ColumnReader):
         self.next_index += 1
         self._obs_rows_read.inc()
         return self._current
+
+    def read_vector(self, n: int):
+        from repro.core.vector import NumericVector
+
+        self._check_read_vector(n)
+        reader = self.reader
+        cost, metrics = self.ctx.cost, self.ctx.metrics
+        start = reader.offset
+        current = self._current
+        values = []
+        append = values.append
+        for delta in vecdecode.read_zigzags(reader, n):
+            current += delta
+            append(current)
+        self._current = current
+        metrics.cells += n
+        metrics.charge_cpu(
+            n * cost.profile.int_decode
+            + (reader.offset - start) * cost.profile.raw_scan_per_byte
+        )
+        self.next_index += n
+        self._obs_rows_read.inc(n)
+        return NumericVector.build(values, "q")
 
     def skip(self, n: int) -> None:
         # Deltas are cumulative: every skipped delta must still be

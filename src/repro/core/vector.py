@@ -1,0 +1,1044 @@
+"""Columnar batch execution for the scan hot path.
+
+Scalar execution materializes and evaluates one record per Python
+iteration, so real wall-clock is dominated by interpreter overhead
+rather than the simulated I/O the cost model charges.  This module is
+the vectorized alternative: a column block is decoded into a typed
+vector **once** (ints/floats as flat ``array`` buffers, strings as
+offsets + one byte buffer, a validity bitmap for nulls), predicates
+from :mod:`repro.query.expr` are compiled into kernels that evaluate
+whole vectors producing **selection indexes**, and only surviving rows
+are late-materialized for map functions.
+
+The contract with the scalar path is *zero-tolerance equivalence*:
+
+- outputs are record-exact identical,
+- every integer metric (``disk_bytes``, ``seeks``, ``records``,
+  ``cells``, ``objects``, ...) and every obs counter is exactly equal,
+- float metrics (``cpu_time``, ``io_time``) agree to 1e-9 relative
+  tolerance (batched charging re-associates float sums; the cost model
+  is linear, so the terms themselves are identical).
+
+:func:`reconcile_metrics` checks that contract; the differential test
+suite and the ``vector_scan`` bench scenario gate on it.
+
+Selections are frame-local row indexes in ascending order.  The
+pinned comparison semantics (NULL never satisfies an ordering
+predicate, IEEE-754 NaN, exact mixed int/float comparison) live in
+:mod:`repro.query.expr` and are imported lazily to keep this module
+free of import cycles with the query layer.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "EXECUTION_MODES",
+    "DEFAULT_BATCH_ROWS",
+    "set_default_execution",
+    "default_execution",
+    "resolve_execution",
+    "Bitmap",
+    "Vector",
+    "ObjectVector",
+    "NumericVector",
+    "StringVector",
+    "RunsVector",
+    "DictionaryVector",
+    "full_selection",
+    "intersect_selections",
+    "union_selections",
+    "complement_selection",
+    "gather",
+    "compile_predicate",
+    "PredicateProgram",
+    "fold_aggregate",
+    "BatchOp",
+    "run_batch_map",
+    "VectorFrame",
+    "VectorRow",
+    "CellLedger",
+    "reconcile_metrics",
+]
+
+
+# ---------------------------------------------------------------------------
+# Execution-mode switch
+# ---------------------------------------------------------------------------
+
+EXECUTION_MODES = ("scalar", "vectorized")
+
+#: rows per decoded frame — large enough to amortize per-batch Python
+#: overhead, small enough that late materialization stays cache-friendly
+DEFAULT_BATCH_ROWS = 1024
+
+_default_execution = "scalar"
+
+
+def _validate_execution(mode: str) -> str:
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def set_default_execution(mode: str) -> str:
+    """Set the ambient execution mode; returns the previous one.
+
+    Scans that were not given an explicit ``execution=`` resolve
+    against this (the CLI ``--execution`` flag sets it for a run).
+    """
+    global _default_execution
+    previous = _default_execution
+    _default_execution = _validate_execution(mode)
+    return previous
+
+
+def default_execution() -> str:
+    return _default_execution
+
+
+def resolve_execution(mode: Optional[str]) -> str:
+    """An explicit mode wins; ``None`` falls back to the ambient default."""
+    if mode is None:
+        return _default_execution
+    return _validate_execution(mode)
+
+
+def _compare_funcs() -> Dict[str, Callable]:
+    # Lazy import: repro.query imports repro.core (for planning), so a
+    # module-level import here would be circular.  The pinned semantics
+    # stay defined in exactly one place — repro.query.expr.
+    from repro.query.expr import _COMPARE_FUNCS
+
+    return _COMPARE_FUNCS
+
+
+# ---------------------------------------------------------------------------
+# Validity bitmap
+# ---------------------------------------------------------------------------
+
+
+class Bitmap:
+    """A bitset over row indexes; bit *i* set means row *i* is valid."""
+
+    __slots__ = ("length", "_bits")
+
+    def __init__(self, length: int, fill: bool = True) -> None:
+        self.length = length
+        nbytes = (length + 7) >> 3
+        self._bits = bytearray(b"\xff" * nbytes if fill else nbytes)
+        if fill and length & 7:
+            # mask tail bits past `length` so count_set stays exact
+            self._bits[-1] &= (1 << (length & 7)) - 1
+
+    @classmethod
+    def from_bools(cls, flags: Sequence[bool]) -> "Bitmap":
+        bitmap = cls(len(flags), fill=False)
+        for i, flag in enumerate(flags):
+            if flag:
+                bitmap._bits[i >> 3] |= 1 << (i & 7)
+        return bitmap
+
+    def get(self, i: int) -> bool:
+        return bool(self._bits[i >> 3] & (1 << (i & 7)))
+
+    def set(self, i: int, flag: bool = True) -> None:
+        if flag:
+            self._bits[i >> 3] |= 1 << (i & 7)
+        else:
+            self._bits[i >> 3] &= ~(1 << (i & 7))
+
+    def count_set(self) -> int:
+        return sum(bin(b).count("1") for b in self._bits)
+
+    def to_bools(self) -> List[bool]:
+        return [self.get(i) for i in range(self.length)]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"Bitmap(length={self.length}, set={self.count_set()})"
+
+
+# ---------------------------------------------------------------------------
+# Typed vectors
+# ---------------------------------------------------------------------------
+
+
+class Vector:
+    """One decoded column block: positional access to ``length`` values.
+
+    ``validity`` is ``None`` when every row is valid (the common case —
+    the storage layer never writes NULLs; nulls enter through computed
+    kernels like map-key access) or a :class:`Bitmap`.  ``value(i)``
+    returns ``None`` for invalid rows.
+    """
+
+    kind = "object"
+
+    def __init__(self, length: int, validity: Optional[Bitmap] = None) -> None:
+        self.length = length
+        self.validity = validity
+
+    def is_valid(self, i: int) -> bool:
+        return self.validity is None or self.validity.get(i)
+
+    def value(self, i: int):
+        raise NotImplementedError
+
+    def to_list(self) -> List:
+        return [self.value(i) for i in range(self.length)]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(length={self.length})"
+
+
+class ObjectVector(Vector):
+    """Arbitrary Python values (the universal fallback representation)."""
+
+    kind = "object"
+
+    def __init__(self, values: List, validity: Optional[Bitmap] = None) -> None:
+        super().__init__(len(values), validity)
+        self.values = values
+
+    def value(self, i: int):
+        if self.validity is not None and not self.validity.get(i):
+            return None
+        return self.values[i]
+
+    def to_list(self) -> List:
+        if self.validity is None:
+            return list(self.values)
+        return [self.value(i) for i in range(self.length)]
+
+
+class NumericVector(Vector):
+    """Flat int64/float64 buffer (``array('q')`` / ``array('d')``).
+
+    Numeric storage columns have no NULLs, so there is no validity
+    bitmap here; values that overflow int64 fall back to
+    :class:`ObjectVector` at build time (see ``build``).
+    """
+
+    kind = "numeric"
+
+    def __init__(self, data: array) -> None:
+        super().__init__(len(data), None)
+        self.data = data
+
+    @classmethod
+    def build(cls, values: List, typecode: str = "q") -> Vector:
+        try:
+            return cls(array(typecode, values))
+        except (OverflowError, TypeError):
+            # e.g. a long column holding values past ±2**63
+            return ObjectVector(values)
+
+    def value(self, i: int):
+        return self.data[i]
+
+    def to_list(self) -> List:
+        return self.data.tolist()
+
+
+class StringVector(Vector):
+    """Strings as one shared byte buffer plus row offsets.
+
+    ``offsets`` has ``length + 1`` entries; row *i* occupies
+    ``buffer[offsets[i]:offsets[i + 1]]`` (UTF-8).  Decoding to ``str``
+    happens lazily per row and is cached, so predicates that resolve at
+    the byte level (substring scan, equality, ordering — UTF-8 byte
+    order equals code-point order) never pay for it.
+    """
+
+    kind = "string"
+
+    def __init__(self, buffer: bytes, offsets: List[int]) -> None:
+        super().__init__(len(offsets) - 1, None)
+        self.buffer = buffer
+        self.offsets = offsets
+        self._decoded: List[Optional[str]] = [None] * self.length
+
+    @classmethod
+    def from_chunks(cls, chunks: List[bytes]) -> "StringVector":
+        offsets = [0] * (len(chunks) + 1)
+        total = 0
+        for i, chunk in enumerate(chunks):
+            total += len(chunk)
+            offsets[i + 1] = total
+        return cls(b"".join(chunks), offsets)
+
+    def byte_length(self, i: int) -> int:
+        return self.offsets[i + 1] - self.offsets[i]
+
+    def value(self, i: int) -> str:
+        cached = self._decoded[i]
+        if cached is None:
+            cached = self.buffer[self.offsets[i]:self.offsets[i + 1]].decode(
+                "utf-8"
+            )
+            self._decoded[i] = cached
+        return cached
+
+
+class RunsVector(Vector):
+    """Run-length-encoded values: ``values[r]`` covers rows
+    ``[starts[r], starts[r + 1])``.
+
+    Built directly by the RLE column reader, so a filter evaluates its
+    predicate once per run — never decoding (or even touching) the
+    individual rows.  Re-emitted rows alias the same value object,
+    exactly like the scalar RLE reader.
+    """
+
+    kind = "runs"
+
+    def __init__(self, values: List, starts: List[int], length: int) -> None:
+        super().__init__(length, None)
+        self.run_values = values
+        self.starts = starts  # ascending; starts[0] == 0
+
+    def run_of(self, i: int) -> int:
+        return bisect_right(self.starts, i) - 1
+
+    def value(self, i: int):
+        return self.run_values[self.run_of(i)]
+
+
+class DictionaryVector(Vector):
+    """Dictionary-encoded values: ``codes[i]`` indexes ``dictionary``.
+
+    A filter evaluates its predicate once per distinct dictionary entry
+    and then maps the verdicts over the codes — filter without decode.
+    Invalid rows (validity bit clear) read as ``None``.
+    """
+
+    kind = "dictionary"
+
+    def __init__(
+        self,
+        codes: List[int],
+        dictionary: List,
+        validity: Optional[Bitmap] = None,
+    ) -> None:
+        super().__init__(len(codes), validity)
+        self.codes = codes
+        self.dictionary = dictionary
+
+    def value(self, i: int):
+        if self.validity is not None and not self.validity.get(i):
+            return None
+        return self.dictionary[self.codes[i]]
+
+
+# ---------------------------------------------------------------------------
+# Selections
+# ---------------------------------------------------------------------------
+
+
+def full_selection(length: int) -> range:
+    """All rows of a frame (``range`` — cheap and iteration-friendly)."""
+    return range(length)
+
+
+def intersect_selections(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Rows present in both ascending selections (ascending result)."""
+    in_b = set(b)
+    return [i for i in a if i in in_b]
+
+
+def union_selections(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Rows present in either ascending selection (ascending result)."""
+    return sorted(set(a) | set(b))
+
+
+def complement_selection(
+    universe: Sequence[int], survivors: Sequence[int]
+) -> List[int]:
+    """Rows of ``universe`` not in ``survivors`` (ascending result)."""
+    dead = set(survivors)
+    return [i for i in universe if i not in dead]
+
+
+def gather(data, sel: Sequence[int]) -> List:
+    """Materialize the values of ``sel`` from a vector or sparse dict."""
+    if isinstance(data, dict):
+        return [data[i] for i in sel]
+    value = data.value
+    return [value(i) for i in sel]
+
+
+# ---------------------------------------------------------------------------
+# Predicate kernels
+# ---------------------------------------------------------------------------
+#
+# Kernels never charge decode cost — the column readers already charged
+# it (batched) when the vector was built, exactly as the scalar path
+# charges it per `read_value`.  The only per-row charge a scalar
+# predicate makes is `charge_predicate` inside `contains`, which the
+# contains kernel reproduces for every evaluated row.
+
+_SWAPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def kernel_compare(data, symbol: str, literal, sel: Sequence[int]) -> List[int]:
+    """Rows of ``sel`` where ``value <symbol> literal`` holds.
+
+    Dispatches on the vector representation: numeric buffers compare
+    raw; strings compare as UTF-8 byte slices (byte order == code-point
+    order, so no decode); runs and dictionaries evaluate the predicate
+    once per run / distinct entry.
+    """
+    fn = _compare_funcs()[symbol]
+    if isinstance(data, dict):
+        return [i for i in sel if fn(data[i], literal)]
+    if isinstance(data, NumericVector):
+        # no NULLs and no None literal short-circuit needed beyond fn
+        values = data.data
+        return [i for i in sel if fn(values[i], literal)]
+    if isinstance(data, RunsVector):
+        verdicts = [fn(v, literal) for v in data.run_values]
+        starts = data.starts
+        nruns = len(verdicts)
+        out = []
+        run = 0
+        for i in sel:
+            while run + 1 < nruns and i >= starts[run + 1]:
+                run += 1
+            if verdicts[run]:
+                out.append(i)
+        return out
+    if isinstance(data, DictionaryVector):
+        verdicts = [fn(v, literal) for v in data.dictionary]
+        none_verdict = fn(None, literal)
+        codes = data.codes
+        validity = data.validity
+        if validity is None:
+            return [i for i in sel if verdicts[codes[i]]]
+        return [
+            i for i in sel
+            if (verdicts[codes[i]] if validity.get(i) else none_verdict)
+        ]
+    if isinstance(data, StringVector) and isinstance(literal, str):
+        # Compare byte slices against the encoded literal: UTF-8
+        # preserves code-point order, so every operator agrees with
+        # Python str comparison and no row needs decoding.
+        needle = literal.encode("utf-8")
+        buffer = data.buffer
+        offsets = data.offsets
+        return [
+            i for i in sel
+            if fn(buffer[offsets[i]:offsets[i + 1]], needle)
+        ]
+    value = data.value
+    return [i for i in sel if fn(value(i), literal)]
+
+
+def kernel_contains(data, needle, sel: Sequence[int], ctx) -> List[int]:
+    """Rows of ``sel`` whose value contains ``needle``.
+
+    Charges ``charge_predicate`` for every evaluated string row, like
+    the scalar `contains`.  The StringVector fast path runs one
+    ``bytes.find`` scan over the shared buffer (UTF-8 is
+    self-synchronizing, so a byte-level hit inside a row's span is a
+    character-level hit) instead of a per-row Python loop.
+    """
+    if isinstance(data, StringVector) and isinstance(needle, str):
+        offsets = data.offsets
+        if ctx is not None:
+            # charge_predicate takes *character* counts; for an ASCII
+            # buffer char count == byte span, else decode (cached).
+            if data.buffer.isascii():
+                total = sum(offsets[i + 1] - offsets[i] for i in sel)
+            else:
+                total = sum(len(data.value(i)) for i in sel)
+            ctx.metrics.charge_cpu(
+                total * ctx.cost.profile.predicate_per_byte
+            )
+        needle_bytes = needle.encode("utf-8")
+        if not needle_bytes:
+            return list(sel)
+        buffer = data.buffer
+        find = buffer.find
+        hits = set()
+        pos = find(needle_bytes)
+        while pos != -1:
+            row = bisect_right(offsets, pos) - 1
+            if pos + len(needle_bytes) <= offsets[row + 1]:
+                hits.add(row)
+                pos = find(needle_bytes, offsets[row + 1])
+            else:
+                # match straddles a row boundary: not a real hit,
+                # resume just past this position
+                pos = find(needle_bytes, pos + 1)
+        return [i for i in sel if i in hits]
+    if isinstance(data, RunsVector):
+        out = []
+        starts = data.starts
+        nruns = len(data.run_values)
+        run = -1
+        verdict = False
+        run_value = None
+        per_byte = None if ctx is None else ctx.cost.profile.predicate_per_byte
+        charged_chars = 0
+        for i in sel:
+            while run + 1 < nruns and (run < 0 or i >= starts[run + 1]):
+                run += 1
+                run_value = data.run_values[run]
+                verdict = needle in run_value
+            if per_byte is not None and isinstance(run_value, (str, bytes)):
+                charged_chars += len(run_value)
+            if verdict:
+                out.append(i)
+        if per_byte is not None and charged_chars:
+            ctx.metrics.charge_cpu(charged_chars * per_byte)
+        return out
+    values = (
+        (lambda i: data[i]) if isinstance(data, dict) else data.value
+    )
+    out = []
+    for i in sel:
+        v = values(i)
+        if ctx is not None and isinstance(v, (str, bytes)):
+            ctx.charge_predicate(v)
+        if needle in v:
+            out.append(i)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Predicate compiler
+# ---------------------------------------------------------------------------
+#
+# Exprs self-describe their structure (`op_symbol`, `operands`,
+# `contains_needle`, ...; see repro.query.expr).  The compiler pattern-
+# matches that metadata into vector kernels; any shape it does not
+# recognize falls back to evaluating the original Expr row-at-a-time
+# over VectorRow views, which is charge-identical to the scalar path by
+# construction.  Note scalar `&`/`|` evaluate BOTH sides on every row
+# (no short-circuit inside one Expr), so compiled and/or run both
+# children over the same selection before combining — keeping contains
+# charges identical.
+
+
+class PredicateProgram:
+    """A compiled (or fallback) filter: selection in, selection out."""
+
+    __slots__ = ("expr", "compiled", "_fn")
+
+    def __init__(self, expr, fn: Callable, compiled: bool) -> None:
+        self.expr = expr
+        self.compiled = compiled
+        self._fn = fn
+
+    def run(self, frame, sel: Sequence[int], ctx=None) -> List[int]:
+        return self._fn(frame, sel, ctx)
+
+    def __repr__(self) -> str:
+        tag = "compiled" if self.compiled else "fallback"
+        return f"PredicateProgram({self.expr.description!r}, {tag})"
+
+
+def _is_column(expr) -> Optional[str]:
+    return getattr(expr, "column_name", None)
+
+
+def _has_literal(expr) -> bool:
+    return hasattr(expr, "literal_value")
+
+
+def _compile_value(expr) -> Optional[Callable]:
+    """Compile to ``fn(frame, sel, ctx) -> list`` aligned with ``sel``."""
+    name = _is_column(expr)
+    if name is not None:
+        return lambda frame, sel, ctx: gather(frame.column(name, sel), sel)
+    if _has_literal(expr):
+        literal = expr.literal_value
+        return lambda frame, sel, ctx: [literal] * len(sel)
+    symbol = getattr(expr, "op_symbol", None)
+    if symbol == "getitem":
+        base_fn = _compile_value(expr.operands[0])
+        if base_fn is None:
+            return None
+        key = expr.getitem_key
+
+        def getitem_values(frame, sel, ctx):
+            out = []
+            for v in base_fn(frame, sel, ctx):
+                if isinstance(v, dict):
+                    out.append(v.get(key))
+                else:
+                    out.append(v[key])
+            return out
+
+        return getitem_values
+    if symbol in _ARITH:
+        left_fn = _compile_value(expr.operands[0])
+        right_fn = _compile_value(expr.operands[1])
+        if left_fn is None or right_fn is None:
+            return None
+        op = _ARITH[symbol]
+        return lambda frame, sel, ctx: [
+            op(a, b)
+            for a, b in zip(left_fn(frame, sel, ctx), right_fn(frame, sel, ctx))
+        ]
+    return None
+
+
+def _compile_pred(expr) -> Optional[Callable]:
+    """Compile to ``fn(frame, sel, ctx) -> selection`` or None."""
+    symbol = getattr(expr, "op_symbol", None)
+    if symbol in _SWAPPED:  # <, <=, >, >=, ==, !=
+        left, right = expr.operands
+        left_col, right_col = _is_column(left), _is_column(right)
+        if left_col is not None and _has_literal(right):
+            literal = right.literal_value
+            return lambda frame, sel, ctx: kernel_compare(
+                frame.column(left_col, sel), symbol, literal, sel
+            )
+        if right_col is not None and _has_literal(left):
+            literal = left.literal_value
+            swapped = _SWAPPED[symbol]
+            return lambda frame, sel, ctx: kernel_compare(
+                frame.column(right_col, sel), swapped, literal, sel
+            )
+        left_fn = _compile_value(left)
+        right_fn = _compile_value(right)
+        if left_fn is None or right_fn is None:
+            return None
+
+        def general_compare(frame, sel, ctx):
+            fn = _compare_funcs()[symbol]
+            lhs = left_fn(frame, sel, ctx)
+            rhs = right_fn(frame, sel, ctx)
+            return [i for i, a, b in zip(sel, lhs, rhs) if fn(a, b)]
+
+        return general_compare
+    if symbol == "and":
+        left_fn = _compile_pred(expr.operands[0])
+        right_fn = _compile_pred(expr.operands[1])
+        if left_fn is None or right_fn is None:
+            return None
+        return lambda frame, sel, ctx: intersect_selections(
+            left_fn(frame, sel, ctx), right_fn(frame, sel, ctx)
+        )
+    if symbol == "or":
+        left_fn = _compile_pred(expr.operands[0])
+        right_fn = _compile_pred(expr.operands[1])
+        if left_fn is None or right_fn is None:
+            return None
+        return lambda frame, sel, ctx: union_selections(
+            left_fn(frame, sel, ctx), right_fn(frame, sel, ctx)
+        )
+    if symbol == "not":
+        child_fn = _compile_pred(expr.operands[0])
+        if child_fn is None:
+            return None
+        return lambda frame, sel, ctx: complement_selection(
+            sel, child_fn(frame, sel, ctx)
+        )
+    if symbol == "is_null":
+        value_fn = _compile_value(expr.operands[0])
+        if value_fn is None:
+            return None
+        return lambda frame, sel, ctx: [
+            i for i, v in zip(sel, value_fn(frame, sel, ctx)) if v is None
+        ]
+    if symbol == "contains":
+        needle = expr.contains_needle
+        base = expr.operands[0]
+        base_col = _is_column(base)
+        if base_col is not None:
+            return lambda frame, sel, ctx: kernel_contains(
+                frame.column(base_col, sel), needle, sel, ctx
+            )
+        value_fn = _compile_value(base)
+        if value_fn is None:
+            return None
+
+        def contains_values(frame, sel, ctx):
+            out = []
+            for i, v in zip(sel, value_fn(frame, sel, ctx)):
+                if ctx is not None and isinstance(v, (str, bytes)):
+                    ctx.charge_predicate(v)
+                if needle in v:
+                    out.append(i)
+            return out
+
+        return contains_values
+    return None
+
+
+def compile_predicate(expr) -> PredicateProgram:
+    """Compile one filter Expr; always succeeds (fallback is row-eval)."""
+    fn = _compile_pred(expr)
+    if fn is not None:
+        return PredicateProgram(expr, fn, compiled=True)
+
+    def fallback(frame, sel, ctx):
+        evaluate = expr.evaluate
+        row = frame.row
+        return [i for i in sel if bool(evaluate(row(i), ctx))]
+
+    return PredicateProgram(expr, fallback, compiled=False)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate folds
+# ---------------------------------------------------------------------------
+
+
+def fold_aggregate(agg, values: Sequence, state=None):
+    """Fold one aggregate over already-gathered values.
+
+    NULL semantics match repro.query.aggregates: ``count`` counts every
+    row, every value-consuming aggregate skips None.  Sums fold left in
+    row order so float results are bit-identical to the scalar ``step``
+    chain, not merely close.
+    """
+    kind = getattr(agg, "kind", None)
+    if state is None:
+        state = agg.init()
+    if kind == "count":
+        return state + len(values)
+    if kind == "sum":
+        for v in values:
+            if v is not None:
+                state = state + v
+        return state
+    if kind == "min" or kind == "max":
+        # strict left fold: min/max are not associative under NaN, and
+        # the contract is bit-exact agreement with the scalar chain
+        pick = min if kind == "min" else max
+        for v in values:
+            if v is not None:
+                state = v if state is None else pick(state, v)
+        return state
+    if kind == "avg":
+        total, n = state
+        for v in values:
+            if v is not None:
+                total = total + v
+                n += 1
+        return (total, n)
+    if kind == "count_distinct":
+        state.update(v for v in values if v is not None)
+        return state
+    for v in values:
+        state = agg.step(state, v)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Batch frames and late materialization
+# ---------------------------------------------------------------------------
+
+
+class VectorFrame:
+    """A window of rows over one split-directory, decoded column-wise
+    on demand.
+
+    A column is decoded exactly once per frame, at its first use: the
+    whole frame (``read_vector``) when the requesting selection covers
+    every row, else a sparse per-row gather (``sync_to`` +
+    ``read_value`` — byte-for-byte the scalar access pattern).  Because
+    selections only shrink as filters apply, later uses are always
+    subsets of the first and hit the cache, mirroring LazyRecord's
+    first-touch-only accounting.
+
+    Row indexes are frame-local (0 .. length-1); ``start`` maps them to
+    absolute record positions for the column readers.
+    """
+
+    def __init__(
+        self, readers: Dict, schema, start: int, length: int, ctx,
+        ledger: Optional["CellLedger"] = None,
+    ) -> None:
+        self._readers = readers
+        self.schema = schema
+        self.start = start
+        self.length = length
+        self.ctx = ctx
+        self.ledger = ledger
+        self._columns: Dict[str, object] = {}
+        self._touched: Dict[str, object] = {}  # name -> set of rows | True
+        self.selection: Sequence[int] = full_selection(length)
+
+    def _require_reader(self, name: str):
+        reader = self._readers.get(name)
+        if reader is None:
+            from repro.serde.schema import SchemaError
+
+            raise SchemaError(
+                f"column {name!r} is not in this reader's projection"
+            )
+        return reader
+
+    def touched(self, name: str):
+        return self._touched.get(name)
+
+    def column(self, name: str, sel: Sequence[int]):
+        """The column's data at ``sel``: a Vector (full frame) or a
+        sparse ``{row: value}`` dict."""
+        data = self._columns.get(name)
+        if data is None:
+            reader = self._require_reader(name)
+            if len(sel) == self.length:
+                reader.sync_to(self.start)
+                data = reader.read_vector(self.length)
+                self._touched[name] = True
+                if self.ledger is not None:
+                    self.ledger.on_materialized(name, self.length)
+            else:
+                data = {}
+                sync_to, read_value = reader.sync_to, reader.read_value
+                for i in sel:
+                    sync_to(self.start + i)
+                    data[i] = read_value()
+                self._touched[name] = set(sel)
+                if self.ledger is not None:
+                    self.ledger.on_materialized(name, len(sel))
+            self._columns[name] = data
+        elif isinstance(data, dict):
+            # Selections shrink monotonically, so this is normally a
+            # cache hit; gather any genuinely new rows (ascending —
+            # column readers cannot rewind).
+            missing = [i for i in sel if i not in data]
+            if missing:
+                reader = self._require_reader(name)
+                for i in missing:
+                    reader.sync_to(self.start + i)
+                    data[i] = reader.read_value()
+                self._touched[name].update(missing)
+                if self.ledger is not None:
+                    self.ledger.on_materialized(name, len(missing))
+        return data
+
+    def get_value(self, name: str, i: int):
+        """One cell, decoding at most once (LazyRecord.get semantics)."""
+        data = self._columns.get(name)
+        if data is not None:
+            if isinstance(data, dict):
+                if i in data:
+                    return data[i]
+            else:
+                return data.value(i)
+        reader = self._require_reader(name)
+        reader.sync_to(self.start + i)
+        value = reader.read_value()
+        if not isinstance(data, dict):
+            data = {}
+            self._columns[name] = data
+            self._touched[name] = set()
+        data[i] = value
+        self._touched[name].add(i)
+        if self.ledger is not None:
+            self.ledger.on_materialized(name, 1)
+        return value
+
+    def row(self, i: int) -> "VectorRow":
+        return VectorRow(self, i)
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorFrame(start={self.start}, length={self.length}, "
+            f"decoded={sorted(self._columns)})"
+        )
+
+
+class VectorRow:
+    """A late-materialized row view (duck-types LazyRecord for map fns).
+
+    Unlike LazyRecord it is not reused across rows — but like it, a
+    value is deserialized at most once per (row, column)."""
+
+    __slots__ = ("_frame", "_row")
+
+    def __init__(self, frame: VectorFrame, row: int) -> None:
+        self._frame = frame
+        self._row = row
+
+    @property
+    def schema(self):
+        return self._frame.schema
+
+    def get(self, name: str):
+        return self._frame.get_value(name, self._row)
+
+    def materialize(self):
+        from repro.serde.record import Record
+
+        record = Record(self.schema)
+        for name in self.schema.field_names:
+            record.put(name, self.get(name))
+        return record
+
+    def to_dict(self) -> dict:
+        return self.materialize().to_dict()
+
+    def __repr__(self) -> str:
+        return f"VectorRow(row={self._frame.start + self._row})"
+
+
+class CellLedger:
+    """Replicates LazyRecord's obs counters for batch execution.
+
+    Same counter names and labels (``lazy.records``,
+    ``lazy.cells.materialized{column=}``, ``lazy.cells.skipped{column=}``),
+    created eagerly like LazyRecord does, so registry snapshots compare
+    exactly — including LazyRecord's advance-settles-previous quirk:
+    the final record of a split-directory is never settled, so its
+    untouched columns are not counted as skipped.
+    """
+
+    def __init__(self, names: Sequence[str], obs) -> None:
+        registry = obs.registry
+        self._records = registry.counter("lazy.records")
+        self._materialized = {
+            name: registry.counter("lazy.cells.materialized", column=name)
+            for name in names
+        }
+        self._skipped = {
+            name: registry.counter("lazy.cells.skipped", column=name)
+            for name in names
+        }
+        self._names = list(names)
+
+    def on_rows(self, n: int) -> None:
+        self._records.inc(n)
+
+    def on_materialized(self, name: str, n: int) -> None:
+        self._materialized[name].inc(n)
+
+    def settle_row(self, frame: VectorFrame, i: int) -> None:
+        """Row-granular settle (iterator mode), exactly LazyRecord._advance."""
+        for name in self._names:
+            touched = frame.touched(name)
+            if touched is True:
+                continue
+            if touched is None or i not in touched:
+                self._skipped[name].inc()
+
+    def settle_frame(self, frame: VectorFrame, exclude_last: bool) -> None:
+        """Frame-granular settle (batch mode).
+
+        ``exclude_last`` marks the final frame of a split-directory,
+        whose last row the scalar path never settles.
+        """
+        settled = frame.length - (1 if exclude_last else 0)
+        if settled <= 0:
+            return
+        for name in self._names:
+            touched = frame.touched(name)
+            if touched is True:
+                continue
+            covered = (
+                0 if touched is None
+                else sum(1 for i in touched if i < settled)
+            )
+            if settled > covered:
+                self._skipped[name].inc(settled - covered)
+
+
+# ---------------------------------------------------------------------------
+# Batch map execution
+# ---------------------------------------------------------------------------
+
+
+class BatchOp:
+    """A vectorizable mapper: ``filters`` run as selection kernels over
+    each frame, then ``row_fn(row, emit, ctx)`` runs per survivor."""
+
+    __slots__ = ("filters", "row_fn")
+
+    def __init__(self, filters: Sequence, row_fn: Callable) -> None:
+        self.filters = list(filters)
+        self.row_fn = row_fn
+
+
+def run_batch_map(job, reader, emit, ctx) -> None:
+    """Drain a batch-capable reader through a job's BatchOp.
+
+    Charge parity with the scalar loop: the reader counts records as
+    frames open; ``map_invoke`` is charged once per row (batched
+    multiply); filters are applied in `.where()` order over shrinking
+    selections, matching the scalar ``all()`` short-circuit between
+    filters (never within one Expr).
+    """
+    op = job.batch_op
+    programs = [compile_predicate(f) for f in op.filters]
+    map_invoke = job.cost.profile.map_invoke
+    metrics = ctx.metrics
+    row_fn = op.row_fn
+    while True:
+        frame = reader.read_batch()
+        if frame is None:
+            return
+        metrics.charge_cpu(frame.length * map_invoke)
+        sel = frame.selection
+        for program in programs:
+            if not sel:
+                break
+            sel = program.run(frame, sel, ctx)
+        row = frame.row
+        for i in sel:
+            row_fn(row(i), emit, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Zero-tolerance reconcile
+# ---------------------------------------------------------------------------
+
+_INT_METRIC_FIELDS = (
+    "disk_bytes", "net_bytes", "requested_bytes", "seeks",
+    "records", "cells", "objects",
+)
+_FLOAT_METRIC_FIELDS = ("io_time", "cpu_time")
+
+
+def reconcile_metrics(scalar, vectorized, rel_tol: float = 1e-9) -> List[str]:
+    """Compare two Metrics under the vectorized-equivalence contract.
+
+    Integer fields must match exactly (the simulated bytes, seeks,
+    records, cells and objects are charged identically, just batched);
+    float times must agree within ``rel_tol`` (batched charging
+    re-associates the same float terms).  Returns human-readable
+    mismatch descriptions — empty means reconciled.
+    """
+    mismatches = []
+    for name in _INT_METRIC_FIELDS:
+        a, b = getattr(scalar, name), getattr(vectorized, name)
+        if a != b:
+            mismatches.append(f"{name}: scalar={a!r} vectorized={b!r}")
+    for name in _FLOAT_METRIC_FIELDS:
+        a, b = getattr(scalar, name), getattr(vectorized, name)
+        if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
+            mismatches.append(f"{name}: scalar={a!r} vectorized={b!r}")
+    for key in sorted(set(scalar.extra) | set(vectorized.extra)):
+        a = scalar.extra.get(key, 0)
+        b = vectorized.extra.get(key, 0)
+        if isinstance(a, float) or isinstance(b, float):
+            if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
+                mismatches.append(
+                    f"extra[{key}]: scalar={a!r} vectorized={b!r}"
+                )
+        elif a != b:
+            mismatches.append(f"extra[{key}]: scalar={a!r} vectorized={b!r}")
+    return mismatches

@@ -50,6 +50,10 @@ class Job:
         self.cost = cost if cost is not None else CpuCostModel()
         #: enable Hadoop-style speculative execution of map stragglers
         self.speculative = speculative
+        #: optional repro.core.vector.BatchOp — when set and the input
+        #: format's reader supports read_batch(), the runner drains the
+        #: split frame-wise instead of calling ``mapper`` per record
+        self.batch_op = None
         #: per-split task attempts before the job fails, as in Hadoop's
         #: ``mapreduce.map.maxattempts`` (default 4)
         self.max_attempts = max_attempts

@@ -413,9 +413,14 @@ class JobRunner:
 
         reader = job.input_format.open_reader(self.fs, split, ctx)
         try:
-            for key, value in reader:
-                job.cost.charge_map_invoke(ctx.metrics)
-                job.mapper(key, value, emit, ctx)
+            if job.batch_op is not None and hasattr(reader, "read_batch"):
+                from repro.core.vector import run_batch_map
+
+                run_batch_map(job, reader, emit, ctx)
+            else:
+                for key, value in reader:
+                    job.cost.charge_map_invoke(ctx.metrics)
+                    job.mapper(key, value, emit, ctx)
         finally:
             reader.close()
 

@@ -6,6 +6,13 @@ possible): a per-record accumulator, a partial-state merger (run in the
 combiner and the reducer), and a finalizer.  Aggregates whose partials
 are not summaries (``count_distinct``) mark themselves non-combinable
 and force the planner to skip the combiner.
+
+NULL handling is pinned to SQL semantics so the scalar ``step``
+functions and the vectorized kernels in ``repro.core.vector`` agree:
+``count()`` counts every record in the group, while every
+value-consuming aggregate (``sum``/``min``/``max``/``avg``/
+``count_distinct``) skips NULL inputs.  ``avg`` divides by the number
+of non-NULL inputs only.
 """
 
 from __future__ import annotations
@@ -16,7 +23,12 @@ from repro.query.expr import Expr, lit
 
 
 class Aggregate:
-    """One aggregate: expr + (init, step, merge, finish)."""
+    """One aggregate: expr + (init, step, merge, finish).
+
+    ``kind`` names the aggregate family ("count", "sum", ...) so the
+    vectorized kernels can pick a whole-vector fast path; unknown kinds
+    fall back to folding ``step`` row by row, which is always correct.
+    """
 
     def __init__(
         self,
@@ -27,6 +39,7 @@ class Aggregate:
         finish: Callable,
         description: str,
         combinable: bool = True,
+        kind: Optional[str] = None,
     ) -> None:
         self.expr = expr if expr is not None else lit(None)
         self.init = init
@@ -35,6 +48,7 @@ class Aggregate:
         self.finish = finish
         self.description = description
         self.combinable = combinable
+        self.kind = kind
 
     @property
     def columns(self):
@@ -45,7 +59,7 @@ class Aggregate:
 
 
 def count() -> Aggregate:
-    """Number of records in the group."""
+    """Number of records in the group (NULLs included)."""
     return Aggregate(
         None,
         init=lambda: 0,
@@ -53,6 +67,7 @@ def count() -> Aggregate:
         merge=lambda a, b: a + b,
         finish=lambda state: state,
         description="count()",
+        kind="count",
     )
 
 
@@ -60,10 +75,11 @@ def sum_(expr: Expr) -> Aggregate:
     return Aggregate(
         expr,
         init=lambda: 0,
-        step=lambda state, value: state + value,
+        step=lambda state, value: state if value is None else state + value,
         merge=lambda a, b: a + b,
         finish=lambda state: state,
         description=f"sum({expr.description})",
+        kind="sum",
     )
 
 
@@ -71,10 +87,15 @@ def min_(expr: Expr) -> Aggregate:
     return Aggregate(
         expr,
         init=lambda: None,
-        step=lambda state, value: value if state is None else min(state, value),
+        step=lambda state, value: (
+            state if value is None
+            else value if state is None
+            else min(state, value)
+        ),
         merge=lambda a, b: b if a is None else a if b is None else min(a, b),
         finish=lambda state: state,
         description=f"min({expr.description})",
+        kind="min",
     )
 
 
@@ -82,10 +103,15 @@ def max_(expr: Expr) -> Aggregate:
     return Aggregate(
         expr,
         init=lambda: None,
-        step=lambda state, value: value if state is None else max(state, value),
+        step=lambda state, value: (
+            state if value is None
+            else value if state is None
+            else max(state, value)
+        ),
         merge=lambda a, b: b if a is None else a if b is None else max(a, b),
         finish=lambda state: state,
         description=f"max({expr.description})",
+        kind="max",
     )
 
 
@@ -94,15 +120,18 @@ def avg(expr: Expr) -> Aggregate:
     return Aggregate(
         expr,
         init=lambda: (0, 0),
-        step=lambda state, value: (state[0] + value, state[1] + 1),
+        step=lambda state, value: (
+            state if value is None else (state[0] + value, state[1] + 1)
+        ),
         merge=lambda a, b: (a[0] + b[0], a[1] + b[1]),
         finish=lambda state: state[0] / state[1] if state[1] else None,
         description=f"avg({expr.description})",
+        kind="avg",
     )
 
 
 def count_distinct(expr: Expr) -> Aggregate:
-    """Exact distinct count.
+    """Exact distinct count over non-NULL values.
 
     Partials are full value sets, which a combiner can still merge —
     but shuffling sets loses the size advantage, so it is marked
@@ -111,9 +140,12 @@ def count_distinct(expr: Expr) -> Aggregate:
     return Aggregate(
         expr,
         init=lambda: set(),
-        step=lambda state, value: (state.add(value), state)[1],
+        step=lambda state, value: (
+            state if value is None else (state.add(value), state)[1]
+        ),
         merge=lambda a, b: a | b,
         finish=lambda state: len(state),
         description=f"count_distinct({expr.description})",
         combinable=False,
+        kind="count_distinct",
     )

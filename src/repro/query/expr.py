@@ -11,6 +11,64 @@ from __future__ import annotations
 from typing import Callable, FrozenSet, Optional
 
 
+# -- pinned comparison semantics ------------------------------------------
+#
+# The scalar operators below and the vectorized kernels in
+# ``repro.core.vector`` must agree on every boundary value, so the
+# comparison semantics are pinned here, in one place, and both layers
+# route through :func:`compare_values`:
+#
+# - Ordering (``<``, ``<=``, ``>``, ``>=``): a NULL operand never
+#   satisfies the predicate — the result is False, matching what a
+#   validity bitmap implies for a vector.
+# - Equality keeps Python semantics: ``None == None`` is True and
+#   ``None != x`` is True for non-None ``x``.
+# - NaN follows IEEE-754: every ordering comparison and ``==`` against
+#   NaN is False (including NaN vs NaN); ``!=`` is True.
+# - Mixed int/float pairs compare exactly (Python compares the integer
+#   against the float as rationals): ``2**63 > 2.0**63 - 1`` even
+#   though both round to the same double.  No operand is ever coerced
+#   through ``float()``.
+
+def cmp_lt(a, b):
+    return False if a is None or b is None else a < b
+
+
+def cmp_le(a, b):
+    return False if a is None or b is None else a <= b
+
+
+def cmp_gt(a, b):
+    return False if a is None or b is None else a > b
+
+
+def cmp_ge(a, b):
+    return False if a is None or b is None else a >= b
+
+
+def cmp_eq(a, b):
+    return a == b
+
+
+def cmp_ne(a, b):
+    return a != b
+
+
+_COMPARE_FUNCS = {
+    "<": cmp_lt,
+    "<=": cmp_le,
+    ">": cmp_gt,
+    ">=": cmp_ge,
+    "==": cmp_eq,
+    "!=": cmp_ne,
+}
+
+
+def compare_values(symbol: str, a, b) -> bool:
+    """Apply one pinned comparison operator (see the table above)."""
+    return _COMPARE_FUNCS[symbol](a, b)
+
+
 class Expr:
     """A scalar expression over one record."""
 
@@ -70,25 +128,31 @@ class Expr:
             )
             if combined:
                 result.range_constraints = combined
+        # Structural metadata for the vectorized kernel compiler
+        # (repro.core.vector): which operator built this node and from
+        # which operands.  Purely descriptive — evaluation still goes
+        # through the closure above.
+        result.op_symbol = symbol
+        result.operands = (self, other)
         return result
 
     def __eq__(self, other):  # type: ignore[override]
-        return self._binary(other, lambda a, b: a == b, "==")
+        return self._binary(other, cmp_eq, "==")
 
     def __ne__(self, other):  # type: ignore[override]
-        return self._binary(other, lambda a, b: a != b, "!=")
+        return self._binary(other, cmp_ne, "!=")
 
     def __lt__(self, other):
-        return self._binary(other, lambda a, b: a < b, "<")
+        return self._binary(other, cmp_lt, "<")
 
     def __le__(self, other):
-        return self._binary(other, lambda a, b: a <= b, "<=")
+        return self._binary(other, cmp_le, "<=")
 
     def __gt__(self, other):
-        return self._binary(other, lambda a, b: a > b, ">")
+        return self._binary(other, cmp_gt, ">")
 
     def __ge__(self, other):
-        return self._binary(other, lambda a, b: a >= b, ">=")
+        return self._binary(other, cmp_ge, ">=")
 
     def __add__(self, other):
         return self._binary(other, lambda a, b: a + b, "+")
@@ -106,11 +170,14 @@ class Expr:
         return self._binary(other, lambda a, b: bool(a) or bool(b), "or")
 
     def __invert__(self):
-        return Expr(
+        result = Expr(
             lambda record, ctx: not self.evaluate(record, ctx),
             self.columns,
             f"(not {self.description})",
         )
+        result.op_symbol = "not"
+        result.operands = (self,)
+        return result
 
     def __hash__(self):
         return hash(self.description)
@@ -126,10 +193,14 @@ class Expr:
                 ctx.charge_predicate(value)
             return needle in value
 
-        return Expr(
+        result = Expr(
             evaluate, self.columns,
             f"{self.description} contains {needle!r}",
         )
+        result.op_symbol = "contains"
+        result.operands = (self,)
+        result.contains_needle = needle
+        return result
 
     def __getitem__(self, key) -> "Expr":
         """Map-key (or array-index) access: ``col('metadata')['server']``."""
@@ -140,7 +211,11 @@ class Expr:
                 return value.get(key)
             return value[key]
 
-        return Expr(evaluate, self.columns, f"{self.description}[{key!r}]")
+        result = Expr(evaluate, self.columns, f"{self.description}[{key!r}]")
+        result.op_symbol = "getitem"
+        result.operands = (self,)
+        result.getitem_key = key
+        return result
 
     def length(self) -> "Expr":
         return Expr(
@@ -150,11 +225,14 @@ class Expr:
         )
 
     def is_null(self) -> "Expr":
-        return Expr(
+        result = Expr(
             lambda record, ctx: self.evaluate(record, ctx) is None,
             self.columns,
             f"{self.description} is null",
         )
+        result.op_symbol = "is_null"
+        result.operands = (self,)
+        return result
 
     def apply(self, fn: Callable, name: Optional[str] = None) -> "Expr":
         """Escape hatch: apply an arbitrary Python function."""

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.cif import ColumnInputFormat
 from repro.core.stats import extract_range_predicates
+from repro.core.vector import BatchOp, resolve_execution
 from repro.mapreduce.job import Job
 from repro.mapreduce.runner import JobResult, run_job
 from repro.query.aggregates import Aggregate
@@ -200,23 +201,31 @@ class Q:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, fs) -> QueryResult:
+    def run(self, fs, execution: Optional[str] = None) -> QueryResult:
+        """Execute; ``execution`` picks ``"scalar"`` or ``"vectorized"``
+        (``None`` defers to the ambient default — see
+        :func:`repro.core.vector.set_default_execution`).  Both paths
+        produce identical rows, counters, and simulated metrics; the
+        vectorized one batches decode and filtering per column frame.
+        """
+        execution = resolve_execution(execution)
         if self._aggregates:
-            return self._run_aggregation(fs)
-        return self._run_projection(fs)
+            return self._run_aggregation(fs, execution)
+        return self._run_projection(fs, execution)
 
-    def _input_format(self) -> ColumnInputFormat:
+    def _input_format(self, execution: str = "scalar") -> ColumnInputFormat:
         return ColumnInputFormat(
             self.dataset,
             columns=self.referenced_columns() or None,
             lazy=True,
             predicates=extract_range_predicates(self._filters),
+            execution=execution,
         )
 
     def _passes(self, record, ctx) -> bool:
         return all(f.evaluate(record, ctx) for f in self._filters)
 
-    def _run_projection(self, fs) -> QueryResult:
+    def _run_projection(self, fs, execution: str = "scalar") -> QueryResult:
         selects = dict(self._selects)
         if not selects:
             raise QueryError("nothing to compute: add select() or aggregate()")
@@ -227,20 +236,30 @@ class Q:
                     expr.evaluate(record, ctx) for expr in selects.values()
                 ))
 
-        job = Job(f"query({self.dataset})", mapper, self._input_format())
+        job = Job(f"query({self.dataset})", mapper, self._input_format(execution))
+        if execution == "vectorized":
+            # Filters run as selection kernels over whole frames; the
+            # per-survivor body is the mapper minus the _passes check.
+            def project_row(row, emit, ctx):
+                emit(None, tuple(
+                    expr.evaluate(row, ctx) for expr in selects.values()
+                ))
+
+            job.batch_op = BatchOp(self._filters, project_row)
         job_result = run_job(fs, job)
         rows = [
             dict(zip(selects.keys(), values)) for _, values in job_result.output
         ]
         return QueryResult(self._finalize_rows(rows), job_result)
 
-    def _run_aggregation(self, fs) -> QueryResult:
+    def _run_aggregation(self, fs, execution: str = "scalar") -> QueryResult:
         group_exprs = dict(self._group_by)
         aggregates = dict(self._aggregates)
 
-        def mapper(key, record, emit, ctx):
-            if not self._passes(record, ctx):
-                return
+        def partial_row(record, emit, ctx):
+            # Shared by both executions: per-record partials keep the
+            # emitted shuffle stream (and so spill/shuffle accounting)
+            # byte-identical between scalar and vectorized runs.
             group_key: Tuple = (
                 tuple(e.evaluate(record, ctx) for e in group_exprs.values())
                 if group_exprs
@@ -251,6 +270,11 @@ class Q:
                 for a in aggregates.values()
             )
             emit(group_key, partial)
+
+        def mapper(key, record, emit, ctx):
+            if not self._passes(record, ctx):
+                return
+            partial_row(record, emit, ctx)
 
         def merge(key, values, emit, ctx):
             merged: Optional[tuple] = None
@@ -272,11 +296,13 @@ class Q:
         job = Job(
             f"query({self.dataset})",
             mapper,
-            self._input_format(),
+            self._input_format(execution),
             reducer=reducer,
             combiner=merge if self._combinable() else None,
             num_reducers=self._num_reducers,
         )
+        if execution == "vectorized":
+            job.batch_op = BatchOp(self._filters, partial_row)
         job_result = run_job(fs, job)
         rows = []
         for group_key, finished in job_result.output:

@@ -1,0 +1,597 @@
+"""Batched decode and skip kernels for vectorized execution.
+
+The scalar reference path decodes one value per method call through
+:class:`~repro.serde.binary.BinaryDecoder`; these kernels decode (or
+skip) runs of values in tight loops directly over the reader's
+buffered window, falling back to the reader's own per-value method
+whenever the window runs short.
+
+The fallback discipline is what keeps the kernels *charge-identical*
+to the scalar path: stream-level charges (disk bytes, seeks, probes)
+happen inside ``StreamByteReader._require`` at refill granularity, and
+a refill only happens on a shortfall.  Because the kernels consume the
+identical byte sequence, shortfalls occur at the identical positions
+with the identical requested sizes — so the stream sees the identical
+read/seek pattern either way.  CPU charges are computed from the same
+linear cost formulas, summed over the run instead of applied per
+value; integer side effects (cells, objects) are exact sums, and
+``cpu_time`` differs only by float re-association (covered by the
+reconcile tolerance).
+
+Skipped byte ranges are hopped with ``reader.skip`` so the stream
+reader's lazy-gap resolution still elides the I/O entirely — the
+kernels never fetch bytes the scalar walk would not have fetched.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.util.varint import VarintError, decode_varint
+
+_DOUBLE = struct.Struct("<d")
+
+_INTEGER_KINDS = ("int", "long", "time")
+_PRIMITIVE_KINDS = frozenset(
+    ("int", "long", "time", "double", "boolean", "string", "bytes")
+)
+
+
+# ---------------------------------------------------------------------------
+# Batched primitive reads (value lists; caller applies the charges)
+# ---------------------------------------------------------------------------
+
+
+def read_zigzags(reader, k: int) -> list:
+    """Decode ``k`` zig-zag varints; equivalent to k ``read_zigzag()``."""
+    out = []
+    append = out.append
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        # Fully inline LEB128 while the window holds the whole varint;
+        # running off the window edge (or a pending skip gap) defers to
+        # the reader's own method, which refills exactly as the scalar
+        # path would.
+        folded = 0
+        shift = 0
+        p = pos
+        while p < limit:
+            b = buf[p]
+            p += 1
+            if b < 0x80:
+                folded |= b << shift
+                pos = p
+                break
+            folded |= (b & 0x7F) << shift
+            shift += 7
+        else:
+            reader.pos = pos
+            folded = reader.read_varint()
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+        append(-((folded + 1) >> 1) if folded & 1 else folded >> 1)
+    reader.pos = pos
+    return out
+
+
+def read_chunks(reader, k: int) -> list:
+    """Decode ``k`` length-prefixed byte chunks (string/bytes wire form)."""
+    out = []
+    append = out.append
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos < limit and buf[pos] < 0x80:
+            n = buf[pos]
+            pos += 1
+        else:
+            try:
+                n, pos = decode_varint(buf, pos)
+            except VarintError:
+                reader.pos = pos
+                n = reader.read_varint()
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+        end = pos + n
+        if end <= limit:
+            append(bytes(buf[pos:end]))
+            pos = end
+        else:
+            reader.pos = pos
+            append(reader.read_bytes(n))
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+    reader.pos = pos
+    return out
+
+
+def read_doubles(reader, k: int) -> list:
+    out = []
+    append = out.append
+    unpack = _DOUBLE.unpack_from
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos + 8 <= limit:
+            append(unpack(buf, pos)[0])
+            pos += 8
+        else:
+            reader.pos = pos
+            append(reader.read_double())
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+    reader.pos = pos
+    return out
+
+
+def read_booleans(reader, k: int) -> list:
+    out = []
+    append = out.append
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos < limit:
+            append(buf[pos] != 0)
+            pos += 1
+        else:
+            reader.pos = pos
+            append(reader.read_byte() != 0)
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+    reader.pos = pos
+    return out
+
+
+def _read_varint(reader):
+    """One varint off the window with per-value fallback (no alias reuse)."""
+    try:
+        value, reader.pos = decode_varint(reader._buf, reader.pos)
+        return value
+    except VarintError:
+        return reader.read_varint()
+
+
+def _hop(reader, n: int) -> None:
+    """Advance past ``n`` bytes; beyond the window this defers to
+    ``reader.skip`` so stream readers keep their lazy-gap elision."""
+    end = reader.pos + n
+    if end <= len(reader._buf):
+        reader.pos = end
+    else:
+        reader.skip(n)
+
+
+# ---------------------------------------------------------------------------
+# Batched map decode
+# ---------------------------------------------------------------------------
+
+
+def map_batch_supported(field_schema) -> bool:
+    return (
+        field_schema.kind == "map"
+        and field_schema.values.kind in _PRIMITIVE_KINDS
+    )
+
+
+def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
+    """Decode ``k`` map datums with batched charges.
+
+    Exact integer side effects and linear-sum cpu of ``k`` scalar
+    ``read_datum`` calls (map container + per-entry key string +
+    per-entry value + raw scan of the full span).
+    """
+    value_kind = field_schema.values.kind
+    ints = value_kind in _INTEGER_KINDS
+    profile = cost.profile
+    start = reader.offset
+    out = []
+    append = out.append
+    entries_total = 0
+    key_payload = 0
+    value_payload = 0  # string/bytes values only
+    keys = {}  # bytes -> decoded str; map keys repeat heavily
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos < limit and buf[pos] < 0x80:
+            count = buf[pos]
+            pos += 1
+        else:
+            try:
+                count, pos = decode_varint(buf, pos)
+            except VarintError:
+                reader.pos = pos
+                count = reader.read_varint()
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+        entries_total += count
+        item = {}
+        for _ in range(count):
+            if pos < limit and buf[pos] < 0x80:
+                klen = buf[pos]
+                pos += 1
+            else:
+                try:
+                    klen, pos = decode_varint(buf, pos)
+                except VarintError:
+                    reader.pos = pos
+                    klen = reader.read_varint()
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+            end = pos + klen
+            if end <= limit:
+                raw_key = bytes(buf[pos:end])
+                pos = end
+            else:
+                reader.pos = pos
+                raw_key = reader.read_bytes(klen)
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+            key_payload += klen
+            if ints:
+                folded = 0
+                shift = 0
+                p = pos
+                while p < limit:
+                    b = buf[p]
+                    p += 1
+                    if b < 0x80:
+                        folded |= b << shift
+                        pos = p
+                        break
+                    folded |= (b & 0x7F) << shift
+                    shift += 7
+                else:
+                    reader.pos = pos
+                    folded = reader.read_varint()
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+                value = (
+                    -((folded + 1) >> 1) if folded & 1 else folded >> 1
+                )
+            elif value_kind == "double":
+                reader.pos = pos
+                value = reader.read_double()
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+            elif value_kind == "boolean":
+                reader.pos = pos
+                value = reader.read_byte() != 0
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+            else:  # string / bytes
+                try:
+                    vlen, pos = decode_varint(buf, pos)
+                except VarintError:
+                    reader.pos = pos
+                    vlen = reader.read_varint()
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+                end = pos + vlen
+                if end <= limit:
+                    raw = bytes(buf[pos:end])
+                    pos = end
+                else:
+                    reader.pos = pos
+                    raw = reader.read_bytes(vlen)
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+                value_payload += vlen
+                value = raw.decode("utf-8") if value_kind == "string" else raw
+            key = keys.get(raw_key)
+            if key is None:
+                key = keys[raw_key] = raw_key.decode("utf-8")
+            item[key] = value
+        append(item)
+    reader.pos = pos
+    # Container overhead + keys, summed (charge_map / charge_string).
+    cpu = (
+        k * profile.map_decode_base
+        + entries_total * profile.map_entry
+        + entries_total * profile.string_decode_base
+        + key_payload * profile.string_decode_per_byte
+    )
+    metrics.objects += k + 2 * entries_total  # maps+entries, key strings
+    metrics.cells += entries_total  # key strings
+    # Values, summed per kind.
+    metrics.cells += entries_total
+    if value_kind == "int":
+        cpu += entries_total * profile.int_decode
+    elif value_kind in ("long", "time"):
+        cpu += entries_total * profile.long_decode
+    elif value_kind == "double":
+        cpu += entries_total * profile.double_decode
+    elif value_kind == "boolean":
+        cpu += entries_total * profile.bool_decode
+    elif value_kind == "string":
+        cpu += (
+            entries_total * profile.string_decode_base
+            + value_payload * profile.string_decode_per_byte
+        )
+        metrics.objects += entries_total
+    else:  # bytes
+        cpu += (
+            entries_total * profile.bytes_decode_base
+            + value_payload * profile.bytes_decode_per_byte
+        )
+        metrics.objects += entries_total
+    cpu += (reader.offset - start) * profile.raw_scan_per_byte
+    metrics.charge_cpu(cpu)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Batched skips
+# ---------------------------------------------------------------------------
+
+
+def skip_batch_supported(field_schema) -> bool:
+    kind = field_schema.kind
+    if kind in _PRIMITIVE_KINDS:
+        return True
+    if kind == "map":
+        return field_schema.values.kind in _PRIMITIVE_KINDS
+    if kind == "array":
+        return field_schema.items.kind in _PRIMITIVE_KINDS
+    return False
+
+
+def _hop_varints(reader, k: int) -> None:
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        p = pos
+        while p < limit:
+            if buf[p] < 0x80:
+                pos = p + 1
+                break
+            p += 1
+        else:
+            reader.pos = pos
+            reader.read_varint()
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+    reader.pos = pos
+
+
+def _skip_prims(reader, kind: str, k: int, profile):
+    """Hop ``k`` primitive values; returns their decode-equivalent cpu
+    (excluding the raw-scan term the caller derives from the span)."""
+    if kind in _INTEGER_KINDS:
+        _hop_varints(reader, k)
+        per = profile.int_decode if kind == "int" else profile.long_decode
+        return k * per
+    if kind == "double":
+        _hop(reader, 8 * k)
+        return k * profile.double_decode
+    if kind == "boolean":
+        _hop(reader, k)
+        return k * profile.bool_decode
+    # string / bytes: per-value length hop; the skip-equivalent string
+    # charge counts prefix+payload bytes (matching BinaryDecoder._skip,
+    # which charges the full skip_len_prefixed span).
+    if kind == "string":
+        base, per = profile.string_decode_base, profile.string_decode_per_byte
+    else:
+        base, per = profile.bytes_decode_base, profile.bytes_decode_per_byte
+    cpu = k * base
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos < limit and buf[pos] < 0x80:
+            n = buf[pos]
+            pos += 1
+        else:
+            try:
+                n, pos = decode_varint(buf, pos)
+            except VarintError:
+                reader.pos = pos
+                n = reader.read_varint()
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+        end = pos + n
+        if end <= limit:
+            pos = end
+        else:
+            reader.pos = pos
+            reader.skip(n)
+            buf, pos = reader._buf, reader.pos
+            limit = len(buf)
+        cpu += (n + _varint_width(n)) * per  # prefix+payload span
+    reader.pos = pos
+    return cpu
+
+
+def _varint_width(value: int) -> int:
+    width = 1
+    value >>= 7
+    while value:
+        width += 1
+        value >>= 7
+    return width
+
+
+def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
+    """Hop ``k`` map datums in one local loop without materializing.
+
+    Keys are length-prefixed strings (``coded_keys=False``) or varint
+    dictionary ids (DCSL).  Returns ``(entries_total, key_span,
+    value_span)`` where the spans count prefix+payload bytes — the
+    quantities the skip cost formulas need.
+    """
+    ints = value_kind in _INTEGER_KINDS
+    fixed = 8 if value_kind == "double" else 1 if value_kind == "boolean" else 0
+    entries_total = 0
+    key_span = 0
+    value_span = 0
+    buf, pos = reader._buf, reader.pos
+    limit = len(buf)
+    for _ in range(k):
+        if pos < limit and buf[pos] < 0x80:
+            count = buf[pos]
+            pos += 1
+        else:
+            try:
+                count, pos = decode_varint(buf, pos)
+            except VarintError:
+                reader.pos = pos
+                count = reader.read_varint()
+                buf, pos = reader._buf, reader.pos
+                limit = len(buf)
+        entries_total += count
+        for _ in range(count):
+            # key: dictionary id varint, or len-prefixed string
+            if pos < limit and buf[pos] < 0x80:
+                klen = buf[pos]
+                pos += 1
+            else:
+                try:
+                    klen, pos = decode_varint(buf, pos)
+                except VarintError:
+                    reader.pos = pos
+                    klen = reader.read_varint()
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+            if not coded_keys:
+                key_span += klen + _varint_width(klen)
+                end = pos + klen
+                if end <= limit:
+                    pos = end
+                else:
+                    reader.pos = pos
+                    reader.skip(klen)
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+            # value
+            if ints:
+                p = pos
+                while p < limit:
+                    if buf[p] < 0x80:
+                        value_span += p + 1 - pos
+                        pos = p + 1
+                        break
+                    p += 1
+                else:
+                    reader.pos = pos
+                    before = reader.offset
+                    reader.read_varint()
+                    value_span += reader.offset - before
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+            elif fixed:
+                value_span += fixed
+                end = pos + fixed
+                if end <= limit:
+                    pos = end
+                else:
+                    reader.pos = pos
+                    reader.skip(fixed)
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+            else:  # string / bytes value
+                try:
+                    vlen, pos = decode_varint(buf, pos)
+                except VarintError:
+                    reader.pos = pos
+                    vlen = reader.read_varint()
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+                value_span += vlen + _varint_width(vlen)
+                end = pos + vlen
+                if end <= limit:
+                    pos = end
+                else:
+                    reader.pos = pos
+                    reader.skip(vlen)
+                    buf, pos = reader._buf, reader.pos
+                    limit = len(buf)
+    reader.pos = pos
+    return entries_total, key_span, value_span
+
+
+def _value_skip_cpu(value_kind, entries: int, value_span: int, profile):
+    """Decode-equivalent cpu of skipping ``entries`` primitive values
+    spanning ``value_span`` bytes (prefix+payload for var-length kinds)."""
+    if value_kind == "int":
+        return entries * profile.int_decode
+    if value_kind in ("long", "time"):
+        return entries * profile.long_decode
+    if value_kind == "double":
+        return entries * profile.double_decode
+    if value_kind == "boolean":
+        return entries * profile.bool_decode
+    if value_kind == "string":
+        return (
+            entries * profile.string_decode_base
+            + value_span * profile.string_decode_per_byte
+        )
+    return (
+        entries * profile.bytes_decode_base
+        + value_span * profile.bytes_decode_per_byte
+    )
+
+
+def skip_batch(reader, field_schema, k: int, cost, metrics) -> bool:
+    """Skip ``k`` datums, charging the exact sum of ``k`` scalar
+    ``skip_datum`` calls (decode-equivalent cpu at ``skip_fraction``,
+    no cells/objects).  Returns False when the kind needs the generic
+    per-value walk."""
+    if not skip_batch_supported(field_schema):
+        return False
+    kind = field_schema.kind
+    profile = cost.profile
+    start = reader.offset
+    if kind in _PRIMITIVE_KINDS:
+        cpu = _skip_prims(reader, kind, k, profile)
+    elif kind == "map":
+        value_kind = field_schema.values.kind
+        entries_total, key_span, value_span = _walk_maps(
+            reader, value_kind, k, coded_keys=False
+        )
+        cpu = (
+            k * profile.map_decode_base
+            + entries_total * profile.map_entry
+            + entries_total * profile.string_decode_base
+            + key_span * profile.string_decode_per_byte
+            + _value_skip_cpu(value_kind, entries_total, value_span, profile)
+        )
+    else:  # array of primitives
+        item_kind = field_schema.items.kind
+        cpu = 0.0
+        elements_total = 0
+        for _ in range(k):
+            count = _read_varint(reader)
+            elements_total += count
+            cpu += _skip_prims(reader, item_kind, count, profile)
+        cpu += (
+            k * profile.array_decode_base
+            + elements_total * profile.array_element
+        )
+    cpu += (reader.offset - start) * profile.raw_scan_per_byte
+    metrics.charge_cpu(cost.skip_discount(cpu))
+    return True
+
+
+def skip_dcsl_batch(reader, values_schema, k: int, cost, metrics) -> bool:
+    """Skip ``k`` dictionary-coded map datums (DCSL value stream).
+
+    Matches the scalar walk: each entry's value is skip-charged like a
+    standalone ``skip_datum`` (discounted decode cpu + its own raw
+    scan), and each datum's full span is raw-scanned undiscounted.
+    """
+    value_kind = values_schema.kind
+    if value_kind not in _PRIMITIVE_KINDS:
+        return False
+    profile = cost.profile
+    start = reader.offset
+    entries_total, _, value_span = _walk_maps(
+        reader, value_kind, k, coded_keys=True
+    )
+    value_cpu = (
+        _value_skip_cpu(value_kind, entries_total, value_span, profile)
+        + value_span * profile.raw_scan_per_byte
+    )
+    metrics.charge_cpu(cost.skip_discount(value_cpu))
+    cost.charge_raw_scan(metrics, reader.offset - start)
+    return True

@@ -93,7 +93,7 @@ class TestPipeline:
             "addcolumn", "buffers", "cluster_load", "cluster_recovery",
             "cluster_slo", "colocation", "encodings", "fig10", "fig11",
             "fig7", "fig8", "fig9", "pruning", "scale_stability",
-            "table1", "table2",
+            "table1", "table2", "vector_scan",
         ]
 
     def test_run_write_check_roundtrip(self, tmp_path):

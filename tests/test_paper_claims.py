@@ -75,3 +75,86 @@ class TestAbstractClaims:
         assert issubclass(ColumnInputFormat, InputFormat)
         fs = FileSystem()
         fs.set_placement_policy(ColumnPlacementPolicy())  # the config hook
+
+
+class TestVectorizedFig10Sweep:
+    """The vectorized engine rides the Fig-10 selectivity sweep with
+    byte-identical simulated I/O at every selectivity.
+
+    The engines batch their decode work very differently, but the
+    simulation must not notice: disk bytes, requested bytes, seeks,
+    records, cells and objects are integer-exact, times agree within
+    float re-association tolerance, and the aggregate itself matches.
+    """
+
+    RECORDS = 800
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.bench import harness
+        from repro.bench.fig10_selectivity import (
+            SELECTIVITIES,
+            _dataset,
+            aggregate_metrics,
+        )
+        from repro.core import ColumnSpec, write_dataset
+        from repro.workloads.micro import micro_schema
+
+        rows = {}
+        for selectivity in SELECTIVITIES:
+            fs = harness.single_node_fs()
+            data = _dataset(self.RECORDS, selectivity)
+            schema = micro_schema()
+            write_dataset(
+                fs, "/f10/cif", schema, data,
+                split_bytes=harness.MICRO_SPLIT_BYTES,
+            )
+            write_dataset(
+                fs, "/f10/sl", schema, data,
+                default_spec=ColumnSpec("skiplist"),
+                split_bytes=harness.MICRO_SPLIT_BYTES,
+            )
+            rows[selectivity] = {
+                (layout, execution): aggregate_metrics(
+                    fs, path, lazy, execution
+                )
+                for layout, path, lazy in (
+                    ("cif", "/f10/cif", False),
+                    ("cif-sl", "/f10/sl", True),
+                )
+                for execution in ("scalar", "vectorized")
+            }
+        return rows
+
+    def test_simulated_io_byte_identical_at_every_selectivity(self, sweep):
+        from repro.core.vector import reconcile_metrics
+
+        for selectivity, cells in sweep.items():
+            for layout in ("cif", "cif-sl"):
+                scalar, _, _ = cells[(layout, "scalar")]
+                vec, _, _ = cells[(layout, "vectorized")]
+                mismatches = reconcile_metrics(scalar, vec)
+                assert mismatches == [], (
+                    f"{layout} @ {selectivity:.0%}: {mismatches}"
+                )
+                # spell out the headline integer fields for clarity
+                assert vec.disk_bytes == scalar.disk_bytes
+                assert vec.requested_bytes == scalar.requested_bytes
+                assert vec.seeks == scalar.seeks
+
+    def test_answers_identical_at_every_selectivity(self, sweep):
+        for selectivity, cells in sweep.items():
+            answers = {
+                key: (total, matches)
+                for key, (_, total, matches) in cells.items()
+            }
+            assert len(set(answers.values())) == 1, (
+                f"@ {selectivity:.0%}: {answers}"
+            )
+
+    def test_lazy_sl_still_beats_eager_cif_at_low_selectivity(self, sweep):
+        # Vectorization must not erode the paper's simulated claim.
+        low = sweep[0.05]
+        eager, _, _ = low[("cif", "vectorized")]
+        lazy, _, _ = low[("cif-sl", "vectorized")]
+        assert lazy.task_time < eager.task_time

@@ -1,0 +1,354 @@
+"""Property tests for the columnar batch kernels (`repro.core.vector`).
+
+Three layers get the Hypothesis treatment:
+
+- **selection algebra** — intersect/union/complement over ascending
+  row-index selections must behave like set operations that preserve
+  ascending order;
+- **filter-without-decode** — the dictionary/RLE/string-buffer compare
+  and contains kernels must select exactly the rows a decode-then-
+  filter reference loop selects, for arbitrary data (including NULLs
+  via validity bitmaps, empty/single-row/all-null boundaries);
+- **batched byte decoding** — `repro.serde.vecdecode` reading k values
+  from a raw buffer must yield exactly what k scalar reads yield, at
+  the same final position.
+
+Plus the pinned comparison-semantics regressions: mixed int/float at
+the +-2**63 boundary and IEEE-754 NaN, which `repro.query.expr` defines
+in one place for both engines.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vector import (
+    Bitmap,
+    DictionaryVector,
+    NumericVector,
+    ObjectVector,
+    RunsVector,
+    StringVector,
+    complement_selection,
+    full_selection,
+    gather,
+    intersect_selections,
+    kernel_compare,
+    kernel_contains,
+    union_selections,
+)
+from repro.query.expr import compare_values
+from repro.serde import vecdecode
+from repro.util.buffers import ByteReader, ByteWriter
+
+SYMBOLS = ("<", "<=", ">", ">=", "==", "!=")
+
+# -- strategies -------------------------------------------------------------
+
+selections = st.integers(min_value=0, max_value=40).flatmap(
+    lambda n: st.lists(
+        st.integers(min_value=0, max_value=39), max_size=n, unique=True
+    ).map(sorted)
+)
+
+texts = st.text(max_size=8)
+
+
+def ascending(sel):
+    return all(a < b for a, b in zip(sel, sel[1:]))
+
+
+# -- selection algebra ------------------------------------------------------
+
+
+@given(selections, selections)
+def test_intersect_is_ascending_set_intersection(a, b):
+    got = intersect_selections(a, b)
+    assert got == sorted(set(a) & set(b))
+    assert ascending(got)
+
+
+@given(selections, selections)
+def test_union_is_ascending_set_union(a, b):
+    got = union_selections(a, b)
+    assert got == sorted(set(a) | set(b))
+    assert ascending(got)
+
+
+@given(selections, selections)
+def test_complement_partitions_the_universe(universe, survivors):
+    dead = complement_selection(universe, survivors)
+    assert ascending(dead)
+    assert set(dead) | (set(survivors) & set(universe)) == set(universe)
+    assert not set(dead) & set(survivors)
+
+
+@given(selections)
+def test_selection_identities(sel):
+    assert intersect_selections(sel, sel) == list(sel)
+    assert union_selections(sel, sel) == list(sel)
+    assert complement_selection(sel, sel) == []
+    assert complement_selection(sel, []) == list(sel)
+    assert intersect_selections(sel, []) == []
+
+
+def test_full_selection_covers_every_row_and_zero_rows():
+    assert list(full_selection(0)) == []
+    assert list(full_selection(1)) == [0]
+    assert list(full_selection(5)) == [0, 1, 2, 3, 4]
+
+
+# -- filter-without-decode == decode-then-filter ----------------------------
+
+
+def reference_filter(vector, symbol, literal, sel):
+    return [i for i in sel if compare_values(symbol, vector.value(i), literal)]
+
+
+@given(
+    st.lists(texts, min_size=1, max_size=6, unique=True),
+    st.data(),
+)
+@settings(max_examples=60)
+def test_dictionary_compare_kernel_never_decodes_wrong(dictionary, data):
+    n = data.draw(st.integers(min_value=0, max_value=30))
+    codes = data.draw(st.lists(
+        st.integers(min_value=0, max_value=len(dictionary) - 1),
+        min_size=n, max_size=n,
+    ))
+    valid = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    symbol = data.draw(st.sampled_from(SYMBOLS))
+    literal = data.draw(texts)
+    vector = DictionaryVector(codes, dictionary, Bitmap.from_bools(valid))
+    sel = [i for i in range(n) if data.draw(st.booleans())]
+    assert kernel_compare(vector, symbol, literal, sel) == reference_filter(
+        vector, symbol, literal, sel
+    )
+
+
+@given(
+    st.lists(st.tuples(texts, st.integers(min_value=1, max_value=5)),
+             min_size=1, max_size=8),
+    st.data(),
+)
+@settings(max_examples=60)
+def test_rle_kernels_evaluate_once_per_run_not_per_row(runs, data):
+    values = [v for v, _ in runs]
+    starts, pos = [], 0
+    for _, width in runs:
+        starts.append(pos)
+        pos += width
+    vector = RunsVector(values, starts, pos)
+    sel = [i for i in range(pos) if data.draw(st.booleans())]
+    symbol = data.draw(st.sampled_from(SYMBOLS))
+    literal = data.draw(texts)
+    assert kernel_compare(vector, symbol, literal, sel) == reference_filter(
+        vector, symbol, literal, sel
+    )
+    needle = data.draw(st.text(max_size=3))
+    assert kernel_contains(vector, needle, sel, None) == [
+        i for i in sel if needle in vector.value(i)
+    ]
+
+
+@given(st.lists(texts, max_size=12), st.text(max_size=3), st.data())
+@settings(max_examples=80)
+def test_string_buffer_contains_matches_per_row_scan(chunks_text, needle,
+                                                     data):
+    vector = StringVector.from_chunks(
+        [t.encode("utf-8") for t in chunks_text]
+    )
+    sel = [i for i in range(len(chunks_text)) if data.draw(st.booleans())]
+    assert kernel_contains(vector, needle, sel, None) == [
+        i for i in sel if needle in chunks_text[i]
+    ]
+
+
+@given(st.lists(texts, max_size=12), st.data())
+@settings(max_examples=60)
+def test_string_buffer_compare_matches_python_str_order(chunks_text, data):
+    vector = StringVector.from_chunks(
+        [t.encode("utf-8") for t in chunks_text]
+    )
+    sel = list(range(len(chunks_text)))
+    symbol = data.draw(st.sampled_from(SYMBOLS))
+    literal = data.draw(texts)
+    assert kernel_compare(vector, symbol, literal, sel) == [
+        i for i in sel if compare_values(symbol, chunks_text[i], literal)
+    ]
+
+
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+                max_size=20),
+       st.data())
+@settings(max_examples=60)
+def test_numeric_buffer_compare_matches_reference(values, data):
+    vector = NumericVector.build(values)
+    sel = [i for i in range(len(values)) if data.draw(st.booleans())]
+    symbol = data.draw(st.sampled_from(SYMBOLS))
+    literal = data.draw(st.integers(min_value=-(2**62), max_value=2**62))
+    assert kernel_compare(vector, symbol, literal, sel) == reference_filter(
+        vector, symbol, literal, sel
+    )
+
+
+def test_boundary_vectors_empty_all_null_single_row():
+    empty = ObjectVector([], None)
+    assert gather(empty, []) == []
+    assert kernel_compare(empty, "==", "x", []) == []
+
+    all_null = DictionaryVector(
+        [0, 0, 0], ["only"], Bitmap.from_bools([False, False, False])
+    )
+    assert [all_null.value(i) for i in range(3)] == [None, None, None]
+    for symbol in ("<", "<=", ">", ">="):
+        assert kernel_compare(all_null, symbol, "only", [0, 1, 2]) == []
+    assert kernel_compare(all_null, "!=", "only", [0, 1, 2]) == [0, 1, 2]
+
+    single = StringVector.from_chunks([b"lone"])
+    assert kernel_contains(single, "one", [0], None) == [0]
+    assert kernel_compare(single, "==", "lone", [0]) == [0]
+
+
+# -- pinned comparison semantics (repro.query.expr) -------------------------
+
+
+class TestPinnedComparisonSemantics:
+    """Mixed int/float and NaN boundaries, identical in both engines."""
+
+    def test_int_float_compared_exactly_at_2_63(self):
+        # float(2**63 - 1) rounds UP to 2.0**63, so coercing through
+        # float() would call them equal; the pinned semantics compare
+        # exactly (as rationals) and must keep the strict ordering.
+        assert float(2**63 - 1) == 2.0**63  # the trap
+        assert compare_values("<", 2**63 - 1, 2.0**63)
+        assert not compare_values("==", 2**63 - 1, 2.0**63)
+        assert compare_values(">", -(2**63) + 1, -(2.0**63))
+        assert not compare_values("==", -(2**63) + 1, -(2.0**63))
+        assert compare_values("==", 2**63, 2.0**63)
+        assert compare_values("==", -(2**63), -(2.0**63))
+
+    def test_nan_is_unordered_and_unequal(self):
+        nan = float("nan")
+        for symbol in ("<", "<=", ">", ">=", "=="):
+            assert not compare_values(symbol, nan, nan)
+            assert not compare_values(symbol, nan, 0.0)
+            assert not compare_values(symbol, 0.0, nan)
+        assert compare_values("!=", nan, nan)
+        assert compare_values("!=", nan, 0.0)
+
+    def test_null_never_satisfies_ordering(self):
+        for symbol in ("<", "<=", ">", ">="):
+            assert not compare_values(symbol, None, 1)
+            assert not compare_values(symbol, 1, None)
+        assert compare_values("==", None, None)
+        assert compare_values("!=", None, 1)
+
+    def test_kernels_agree_on_the_boundary_values(self):
+        values = [2**63, 2**63 - 1, -(2**63), 0]
+        vector = NumericVector.build(values)
+        sel = list(range(len(values)))
+        for symbol in SYMBOLS:
+            assert kernel_compare(vector, symbol, 2.0**63, sel) == [
+                i for i in sel
+                if compare_values(symbol, values[i], 2.0**63)
+            ]
+
+    @given(st.floats(allow_nan=True, allow_infinity=True),
+           st.integers(min_value=-(2**64), max_value=2**64))
+    def test_compare_values_matches_python_on_non_null(self, f, n):
+        import operator
+
+        ops = {
+            "<": operator.lt, "<=": operator.le, ">": operator.gt,
+            ">=": operator.ge, "==": operator.eq, "!=": operator.ne,
+        }
+        for symbol, op in ops.items():
+            assert compare_values(symbol, n, f) == op(n, f)
+            assert compare_values(symbol, f, n) == op(f, n)
+
+
+# -- batched byte decoding == k scalar reads --------------------------------
+
+
+ints64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def _two_readers(build):
+    """Encode once; return two independent readers over the bytes."""
+    writer = ByteWriter()
+    build(writer)
+    payload = writer.getvalue()
+    return ByteReader(payload), ByteReader(payload)
+
+
+@given(st.lists(ints64, max_size=30))
+@settings(max_examples=60)
+def test_read_zigzags_equals_scalar_reads(values):
+    batch, scalar = _two_readers(
+        lambda w: [w.write_zigzag(v) for v in values]
+    )
+    assert vecdecode.read_zigzags(batch, len(values)) == [
+        scalar.read_zigzag() for _ in values
+    ]
+    assert batch.offset == scalar.offset
+
+
+@given(st.lists(st.binary(max_size=20), max_size=20))
+@settings(max_examples=60)
+def test_read_chunks_equals_scalar_len_prefixed_reads(blobs):
+    batch, scalar = _two_readers(
+        lambda w: [w.write_len_prefixed(b) for b in blobs]
+    )
+    got = vecdecode.read_chunks(batch, len(blobs))
+    want = [scalar.read_bytes(scalar.read_varint()) for _ in blobs]
+    assert got == want
+    assert batch.offset == scalar.offset
+
+
+@given(st.lists(
+    st.floats(allow_nan=False, allow_infinity=True), max_size=20
+))
+@settings(max_examples=60)
+def test_read_doubles_equals_scalar_reads(values):
+    batch, scalar = _two_readers(
+        lambda w: [w.write_double(v) for v in values]
+    )
+    assert vecdecode.read_doubles(batch, len(values)) == [
+        scalar.read_double() for _ in values
+    ]
+    assert batch.offset == scalar.offset
+
+
+@given(st.lists(st.booleans(), max_size=20))
+@settings(max_examples=60)
+def test_read_booleans_equals_scalar_reads(values):
+    batch, scalar = _two_readers(
+        lambda w: [w.write_byte(1 if v else 0) for v in values]
+    )
+    assert vecdecode.read_booleans(batch, len(values)) == [
+        scalar.read_byte() != 0 for _ in values
+    ]
+    assert batch.offset == scalar.offset
+
+
+@given(st.lists(ints64, min_size=1, max_size=30))
+def test_hop_varints_lands_exactly_past_k_varints(values):
+    batch, scalar = _two_readers(
+        lambda w: [w.write_zigzag(v) for v in values]
+    )
+    vecdecode._hop_varints(batch, len(values))
+    for _ in values:
+        scalar.read_zigzag()
+    assert batch.offset == scalar.offset
+
+
+def test_varint_width_matches_encoder():
+    from repro.util.varint import encode_varint
+
+    for value in (0, 1, 127, 128, 16383, 16384, 2**35, 2**63):
+        out = bytearray()
+        encode_varint(value, out)
+        assert vecdecode._varint_width(value) == len(out)
