@@ -50,50 +50,83 @@ def _aggregate(
 
 
 def aggregate_metrics(
-    fs, dataset: str, lazy: bool, execution: "str | None" = None
+    fs, dataset: str, lazy: bool, execution: "str | None" = None,
+    profiler=None,
 ):
     """The Fig-10 aggregation; returns ``(Metrics, sum, match_count)``.
 
     Both executions compute the identical answer and charge identical
     simulated cost; the vectorized path pushes the pattern filter down
     as a selection kernel and folds the surviving map values.
+
+    When an :class:`~repro.obs.OperatorProfiler` is passed, it is
+    installed for the scan and finished before returning; both branches
+    mark operator boundaries at logically identical points so the two
+    engines' profiles reconcile exactly on rows and cells.
     """
     from repro.core.vector import resolve_execution
+    from repro.obs import NULL_PROFILER
 
     execution = resolve_execution(execution)
     fmt = ColumnInputFormat(
         dataset, columns=["str0", "attrs"], lazy=lazy, execution=execution
     )
     ctx = harness.make_context(fs)
+    if profiler is None:
+        profiler = NULL_PROFILER
+    else:
+        ctx.profiler = profiler.bind(ctx.metrics).install()
     total = 0
     matches = 0
-    if execution == "vectorized":
-        from repro.core.vector import fold_aggregate
-        from repro.query.aggregates import sum_
-        from repro.query.expr import col
+    try:
+        if execution == "vectorized":
+            from repro.core.vector import fold_aggregate
+            from repro.query.aggregates import sum_
+            from repro.query.expr import col
 
-        fmt.set_filter(col("str0").contains(PATTERN))
-        folder = sum_(col("attrs"))
-        for split in fmt.get_splits(fs, fs.cluster):
-            reader = fmt.open_reader(fs, split, ctx)
-            while True:
-                frame = reader.read_batch()
-                if frame is None:
-                    break
-                survivors = frame.selection
-                values = [
-                    frame.get_value("attrs", i)[MAP_KEY] for i in survivors
-                ]
-                total = fold_aggregate(folder, values, total)
-                matches += len(survivors)
-    else:
-        for split in fmt.get_splits(fs, fs.cluster):
-            for _, record in fmt.open_reader(fs, split, ctx):
-                text = record.get("str0")
-                ctx.charge_predicate(text)
-                if PATTERN in text:
-                    total += record.get("attrs")[MAP_KEY]
-                    matches += 1
+            fmt.set_filter(col("str0").contains(PATTERN))
+            folder = sum_(col("attrs"))
+            for split in fmt.get_splits(fs, fs.cluster):
+                reader = fmt.open_reader(fs, split, ctx)
+                profiler.switch("scan")
+                while True:
+                    frame = reader.read_batch()
+                    if frame is None:
+                        break
+                    survivors = frame.selection
+                    n = len(survivors)
+                    profiler.switch("materialize")
+                    profiler.add_rows("materialize", n, n)
+                    values = [
+                        frame.get_value("attrs", i)[MAP_KEY]
+                        for i in survivors
+                    ]
+                    profiler.switch("aggregate")
+                    profiler.add_rows("aggregate", n, n)
+                    total = fold_aggregate(folder, values, total)
+                    matches += n
+                    profiler.switch("scan")
+        else:
+            for split in fmt.get_splits(fs, fs.cluster):
+                reader = fmt.open_reader(fs, split, ctx)
+                profiler.switch("scan")
+                for _, record in reader:
+                    profiler.switch("filter")
+                    text = record.get("str0")
+                    ctx.charge_predicate(text)
+                    matched = PATTERN in text
+                    profiler.add_rows("filter", 1, 1 if matched else 0)
+                    if matched:
+                        profiler.switch("materialize")
+                        profiler.add_rows("materialize", 1, 1)
+                        value = record.get("attrs")[MAP_KEY]
+                        profiler.switch("aggregate")
+                        profiler.add_rows("aggregate", 1, 1)
+                        total += value
+                        matches += 1
+                    profiler.switch("scan")
+    finally:
+        profiler.finish(ctx.obs)
     return ctx.metrics, total, matches
 
 

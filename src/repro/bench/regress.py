@@ -359,6 +359,7 @@ def _extract_vector_scan(result) -> Dict[str, float]:
         and result.speedup_lazy >= SAME_LAYOUT_FLOOR
     )
     out["count.reconcile_mismatches"] = len(result.mismatches)
+    out["count.profile_reconcile_mismatches"] = len(result.profile_mismatches)
     out["count.answer"] = result.answer
     out["count.matches"] = result.matches
     for leg, seconds in sorted(result.simulated.items()):

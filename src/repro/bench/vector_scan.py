@@ -52,6 +52,7 @@ from repro.bench import harness
 from repro.bench.fig10_selectivity import _dataset, aggregate_metrics
 from repro.core import ColumnSpec, write_dataset
 from repro.core.vector import reconcile_metrics
+from repro.obs import OperatorProfiler, reconcile_profiles
 from repro.workloads.micro import micro_schema
 
 #: headline floor: vectorized CIF-SL must beat the scalar eager CIF
@@ -81,6 +82,10 @@ class VectorScanResult:
     simulated: Dict[str, float] = field(default_factory=dict)
     #: metric reconcile failures across both layouts (must be empty)
     mismatches: List[str] = field(default_factory=list)
+    #: operator-profile reconcile failures across both layouts
+    profile_mismatches: List[str] = field(default_factory=list)
+    #: leg -> {operator -> stats dict} from the profiled rep
+    profiles: Dict[str, Dict[str, dict]] = field(default_factory=dict)
     answer: int = 0
     matches: int = 0
 
@@ -118,6 +123,7 @@ def run(
     )
     answers = {}
     metrics_by_leg = {}
+    profiler_by_leg = {}
     for leg, dataset, lazy, execution in _LEGS:
         best = float("inf")
         for _ in range(reps):
@@ -130,6 +136,14 @@ def run(
         result.simulated[leg] = metrics.task_time
         answers[leg] = (total, matches)
         metrics_by_leg[leg] = metrics
+        # One extra *profiled* rep per leg, outside the timed loop so
+        # the operator hooks never pollute the wall numbers.
+        profiler = OperatorProfiler(execution, meta={"leg": leg})
+        aggregate_metrics(fs, dataset, lazy, execution, profiler=profiler)
+        profiler_by_leg[leg] = profiler
+        result.profiles[leg] = {
+            op: stats.as_dict() for op, stats in profiler.stats.items()
+        }
     if len(set(answers.values())) != 1:
         raise AssertionError(f"legs disagree on the answer: {answers}")
     result.answer, result.matches = answers["scalar_eager"]
@@ -139,6 +153,11 @@ def run(
             metrics_by_leg[f"vectorized_{layout}"],
         ):
             result.mismatches.append(f"{layout}: {line}")
+        for line in reconcile_profiles(
+            profiler_by_leg[f"scalar_{layout}"],
+            profiler_by_leg[f"vectorized_{layout}"],
+        ):
+            result.profile_mismatches.append(f"{layout}: {line}")
     return result
 
 

@@ -254,6 +254,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=1.5,
         help="flag tasks slower than this multiple of the median",
     )
+    po = perf_sub.add_parser(
+        "operators",
+        help=(
+            "per-operator profile tree (rows, selectivity, cells "
+            "decoded/skipped, batches, kernel vs fallback calls, "
+            "simulated + wall time) for each engine in a recording"
+        ),
+    )
+    po.add_argument("trace", help="flight-recorder JSONL")
+    po.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI color (also honored: NO_COLOR, TERM=dumb)",
+    )
     pd = perf_sub.add_parser(
         "diff",
         help=(
@@ -266,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument(
         "--rel-tol", type=float, default=0.01,
         help="relative noise tolerance (default 0.01)",
+    )
+    pd.add_argument(
+        "--operators", action="store_true",
+        help=(
+            "also attribute the time delta to the operator and "
+            "vecdecode kernel responsible, per engine"
+        ),
     )
 
     bench = subcommands.add_parser(
@@ -887,6 +907,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-recommendations", action="store_true",
         help="exit 1 when the advisor finds nothing to recommend",
     )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help=(
+            "profile the scan per operator (EXPLAIN ANALYZE): render "
+            "the measured operator tree and cite per-operator cost in "
+            "each recommendation's evidence"
+        ),
+    )
     return parser
 
 
@@ -1453,16 +1481,18 @@ def _resume_cluster(args, out: Callable[[str], None]) -> int:
     return 0 if not report.failed else 1
 
 
-def _explain_scan(fs, input_format, touch_columns) -> None:
+def _explain_scan(fs, input_format, touch_columns, profile=False) -> None:
     """Scan every split on a node that hosts it, as map tasks would.
 
     ``harness.scan`` reads the whole dataset from one node, which makes
     every co-located split look remote; the advisor's balancer rule
     needs locality-faithful accounting, so each split gets its own
-    context pinned to one of the split's location nodes.
+    context pinned to one of the split's location nodes.  With
+    ``profile`` each split scan runs under an operator profiler, so
+    the recording carries per-operator spans for ``--analyze``.
     """
     from repro.bench import harness
-    from repro.obs import current_obs
+    from repro.obs import NULL_PROFILER, OperatorProfiler, current_obs
 
     obs = current_obs()
     with obs.tracer.span(
@@ -1472,6 +1502,14 @@ def _explain_scan(fs, input_format, touch_columns) -> None:
         for split in input_format.get_splits(fs, fs.cluster):
             node = split.locations[0] if split.locations else 0
             ctx = harness.make_context(fs, node=node)
+            profiler = NULL_PROFILER
+            if profile:
+                profiler = OperatorProfiler(
+                    "scalar", ctx.metrics,
+                    meta={"split": split.label},
+                    clock=obs.tracer._clock,
+                ).install()
+                ctx.profiler = profiler
             reader = input_format.open_reader(fs, split, ctx)
             try:
                 with obs.tracer.span(
@@ -1479,10 +1517,14 @@ def _explain_scan(fs, input_format, touch_columns) -> None:
                     node=node, metrics=ctx.metrics,
                 ):
                     for _, record in reader:
+                        profiler.switch("materialize")
+                        profiler.add_rows("materialize", 1, 1)
                         for column in touch_columns:
                             record.get(column)
+                        profiler.switch("scan")
             finally:
                 reader.close()
+                profiler.finish(obs)
             obs.record_metrics(f"scan:{split.label}", ctx.metrics)
 
 
@@ -1555,6 +1597,15 @@ def _run_explain(args, out: Callable[[str], None]) -> int:
             heatmap, report, scan_only=False, check_lazy=False
         )
         recommendations = advise(heatmap, layouts=layouts)
+        if args.analyze:
+            from repro.obs import operator_profiles, render_operators
+            from repro.obs.advisor import annotate_with_profiles
+
+            annotate_with_profiles(
+                recommendations, operator_profiles(report)
+            )
+            out(render_operators(report, pal=pal))
+            out("")
         return _emit_explain(
             args, out, pal, heatmap, layouts, problems, recommendations
         )
@@ -1599,6 +1650,7 @@ def _run_explain(args, out: Callable[[str], None]) -> int:
                     args.path, columns=columns, lazy=not args.eager
                 ),
                 touch,
+                profile=args.analyze,
             )
         except (KeyError, ValueError) as exc:
             out(f"error: scan failed: {exc}")
@@ -1631,6 +1683,13 @@ def _run_explain(args, out: Callable[[str], None]) -> int:
         accumulated, layouts=layouts, codecs=codecs,
         colocated_fraction=fraction,
     )
+    if args.analyze:
+        from repro.obs import operator_profiles, render_operators
+        from repro.obs.advisor import annotate_with_profiles
+
+        annotate_with_profiles(recommendations, operator_profiles(report))
+        out(render_operators(report, pal=pal))
+        out("")
     status = _emit_explain(
         args, out, pal, accumulated, layouts, problems, recommendations
     )
@@ -1655,11 +1714,22 @@ def _run_perf(args, out: Callable[[str], None]) -> int:
             return 1
         diff = analysis.diff_runs(base, cand, rel_tol=args.rel_tol)
         out(diff.render())
+        if args.operators:
+            from repro.obs import diff_operators
+
+            out("")
+            out(diff_operators(base, cand, rel_tol=args.rel_tol).render())
         return 0 if diff.ok else 1
 
     report = _load_trace(args.trace, out)
     if report is None:
         return 1
+    if args.perf_command == "operators":
+        from repro.obs import render_operators
+        from repro.util.term import palette
+
+        out(render_operators(report, pal=palette(args.no_color)))
+        return 0
     if args.perf_command == "critical-path":
         path = analysis.critical_path(report, root_id=args.root)
         out(path.render(top=args.top))

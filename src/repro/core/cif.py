@@ -182,9 +182,16 @@ class CIFRecordReader(RecordReader):
             self._record._advance(row)
             return None, self._record
         record = Record(self._schema)
+        # Eager materialization is the scalar engine's decode stage;
+        # lazy cells are instead charged to whichever operator calls
+        # ``get()`` (filter/materialize), mirroring the vectorized path.
+        profiler = self.ctx.profiler
+        prev = profiler.switch("decode")
+        profiler.add_rows("decode", 1, 1)
         for name, reader in self._readers.items():
             reader.sync_to(row)
             record.put(name, reader.read_value())
+        profiler.switch(prev)
         return None, record
 
 
@@ -255,12 +262,17 @@ class VectorizedCIFRecordReader(CIFRecordReader):
         self._frame = frame
         self._frame_last = self._cursor >= self._count
         self._frame_row = 0
+        profiler = self.ctx.profiler
+        profiler.on_batch(length)
         if not self._lazy:
             # Eager materialization decodes every projected column —
             # same cells as the scalar eager path, charged frame-wise.
             sel = full_selection(length)
+            prev = profiler.switch("decode")
+            profiler.add_rows("decode", length, length)
             for name in self._readers:
                 frame.column(name, sel)
+            profiler.switch(prev)
         return frame
 
     def read_next(self):
@@ -309,10 +321,15 @@ class VectorizedCIFRecordReader(CIFRecordReader):
         if frame.ledger is not None:
             frame.ledger.on_rows(frame.length)
         sel = frame.selection
-        for program in self._programs:
-            if not sel:
-                break
-            sel = program.run(frame, sel, self.ctx)
+        if self._programs:
+            profiler = self.ctx.profiler
+            prev = profiler.switch("filter")
+            for program in self._programs:
+                if not sel:
+                    break
+                sel = program.run(frame, sel, self.ctx)
+            profiler.add_rows("filter", frame.length, len(sel))
+            profiler.switch(prev)
         frame.selection = sel
         return frame
 

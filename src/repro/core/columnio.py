@@ -53,6 +53,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.compress.codecs import get_codec
 from repro.compress.dictionary import KeyDictionary
 from repro.mapreduce.types import TaskContext
+from repro.obs import NULL_PROFILER
 from repro.serde import vecdecode
 from repro.serde.binary import BinaryDecoder, BinaryEncoder
 from repro.serde.schema import Schema, SchemaError
@@ -375,6 +376,15 @@ class ColumnReader:
         #: identical either way (the differential layer proves it).
         self.batch_kernels = False
         self._decoder = BinaryDecoder(reader, ctx.cost, ctx.metrics)
+        # Operator attribution: every row this reader decodes or skips
+        # is credited to whatever operator is current on the profiler.
+        # Resolved at construction — profilers install on the ctx
+        # before the reader is opened.  The byte reader is stamped with
+        # this reader's class name so vecdecode fallback counters can
+        # be labeled by reader type.
+        self._profiler = getattr(ctx, "profiler", NULL_PROFILER)
+        if reader is not None:
+            reader._vec_owner = type(self).__name__
         registry = ctx.obs.registry
         self._obs_rows_read = registry.counter(
             "column.rows.read", **self.labels
@@ -455,6 +465,7 @@ class ColumnReader:
             )
         if n:
             self._obs_rows_skipped.inc(n)
+            self._profiler.on_cells_skipped(n)
 
 
 class PlainColumnReader(ColumnReader):
@@ -479,6 +490,7 @@ class PlainColumnReader(ColumnReader):
         value = self._read_datum_fast()
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         return value
 
     def read_vector(self, n: int):
@@ -490,6 +502,7 @@ class PlainColumnReader(ColumnReader):
         builder.add(decoded)
         self.next_index += n
         self._obs_rows_read.inc(n)
+        self._profiler.on_cells(n)
         return builder.finish()
 
 
@@ -573,6 +586,7 @@ class SkipListColumnReader(ColumnReader):
         value = self._decode_one_value()
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         return value
 
     def read_vector(self, n: int):
@@ -603,6 +617,7 @@ class SkipListColumnReader(ColumnReader):
             self.next_index += step
             remaining -= step
         self._obs_rows_read.inc(n)
+        self._profiler.on_cells(n)
         return builder.finish()
 
     # Hook points so DCSL can change the value encoding only.
@@ -711,6 +726,7 @@ class CBlockColumnReader(ColumnReader):
         if len(raw) != raw_len:
             raise ValueError("corrupt compressed block")
         self._block_reader = ByteReader(raw)
+        self._block_reader._vec_owner = type(self).__name__
         self._block_decoder = BinaryDecoder(self._block_reader, ctx.cost, ctx.metrics)
         self._block_remaining = block_count
 
@@ -738,6 +754,7 @@ class CBlockColumnReader(ColumnReader):
                     registry=self.ctx.obs.registry,
                 )
                 self._block_reader = ByteReader(raw)
+                self._block_reader._vec_owner = type(self).__name__
                 self._block_decoder = BinaryDecoder(
                     self._block_reader, self.ctx.cost, self.ctx.metrics
                 )
@@ -768,6 +785,7 @@ class CBlockColumnReader(ColumnReader):
         self._block_remaining -= 1
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         return value
 
     def read_vector(self, n: int):
@@ -793,6 +811,7 @@ class CBlockColumnReader(ColumnReader):
             self.next_index += step
             remaining -= step
         self._obs_rows_read.inc(n)
+        self._profiler.on_cells(n)
         return builder.finish()
 
 
@@ -822,6 +841,7 @@ class DefaultColumnReader(ColumnReader):
             raise EOFError("read past column end")
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         value = self._default
         if isinstance(value, dict):
             return dict(value)
@@ -861,6 +881,7 @@ class RleColumnReader(ColumnReader):
         self._run_remaining -= 1
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         return self._run_value
 
     def read_vector(self, n: int):
@@ -892,6 +913,7 @@ class RleColumnReader(ColumnReader):
             produced += take
         self.next_index += n
         self._obs_rows_read.inc(n)
+        self._profiler.on_cells(n)
         return RunsVector(values, starts, n)
 
     def skip(self, n: int) -> None:
@@ -937,6 +959,7 @@ class DeltaColumnReader(ColumnReader):
         cost.charge_raw_scan(metrics, self.reader.offset - before)
         self.next_index += 1
         self._obs_rows_read.inc()
+        self._profiler.on_cells(1)
         return self._current
 
     def read_vector(self, n: int):
@@ -960,6 +983,7 @@ class DeltaColumnReader(ColumnReader):
         )
         self.next_index += n
         self._obs_rows_read.inc(n)
+        self._profiler.on_cells(n)
         return NumericVector.build(values, "q")
 
     def skip(self, n: int) -> None:

@@ -987,19 +987,27 @@ def run_batch_map(job, reader, emit, ctx) -> None:
     map_invoke = job.cost.profile.map_invoke
     metrics = ctx.metrics
     row_fn = op.row_fn
+    profiler = ctx.profiler
     while True:
         frame = reader.read_batch()
         if frame is None:
             return
         metrics.charge_cpu(frame.length * map_invoke)
         sel = frame.selection
-        for program in programs:
-            if not sel:
-                break
-            sel = program.run(frame, sel, ctx)
+        if programs:
+            profiler.switch("filter")
+            for program in programs:
+                if not sel:
+                    break
+                sel = program.run(frame, sel, ctx)
+            profiler.add_rows("filter", frame.length, len(sel))
+        profiler.switch("materialize")
+        profiler.add_rows("materialize", len(sel), len(sel))
         row = frame.row
         for i in sel:
             row_fn(row(i), emit, ctx)
+        # Attribute the next read_batch to the scan stage.
+        profiler.switch("scan")
 
 
 # ---------------------------------------------------------------------------
@@ -1023,22 +1031,30 @@ def reconcile_metrics(scalar, vectorized, rel_tol: float = 1e-9) -> List[str]:
     mismatch descriptions — empty means reconciled.
     """
     mismatches = []
+    exact = "exact match required"
+    close = f"rel_tol={rel_tol:g}, abs_tol=1e-12"
     for name in _INT_METRIC_FIELDS:
         a, b = getattr(scalar, name), getattr(vectorized, name)
         if a != b:
-            mismatches.append(f"{name}: scalar={a!r} vectorized={b!r}")
+            mismatches.append(
+                f"{name}: scalar={a!r} vectorized={b!r} ({exact})"
+            )
     for name in _FLOAT_METRIC_FIELDS:
         a, b = getattr(scalar, name), getattr(vectorized, name)
         if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
-            mismatches.append(f"{name}: scalar={a!r} vectorized={b!r}")
+            mismatches.append(
+                f"{name}: scalar={a!r} vectorized={b!r} ({close})"
+            )
     for key in sorted(set(scalar.extra) | set(vectorized.extra)):
         a = scalar.extra.get(key, 0)
         b = vectorized.extra.get(key, 0)
         if isinstance(a, float) or isinstance(b, float):
             if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
                 mismatches.append(
-                    f"extra[{key}]: scalar={a!r} vectorized={b!r}"
+                    f"extra[{key}]: scalar={a!r} vectorized={b!r} ({close})"
                 )
         elif a != b:
-            mismatches.append(f"extra[{key}]: scalar={a!r} vectorized={b!r}")
+            mismatches.append(
+                f"extra[{key}]: scalar={a!r} vectorized={b!r} ({exact})"
+            )
     return mismatches

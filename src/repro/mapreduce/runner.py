@@ -13,6 +13,7 @@ the bytes-read counters.
 from __future__ import annotations
 
 import math
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -31,12 +32,16 @@ from repro.mapreduce.scheduler import (
     simulate_wave_makespan,
 )
 from repro.mapreduce.types import InputSplit, TaskContext
-from repro.obs import Observability, current_obs
+from repro.obs import NULL_PROFILER, Observability, OperatorProfiler, current_obs
 from repro.obs.registry import TASK_DURATION_BOUNDARIES
 from repro.sim.metrics import Metrics
 
 #: CPU charge per key comparison in the reduce-side sort.
 _SORT_SECONDS_PER_COMPARE = 30e-9
+
+#: Wall-time source for operator profiles when no tracer clock is
+#: injected (fake clocks keep recorded traces byte-identical in tests).
+_WALL_CLOCK = time.perf_counter
 
 
 def estimate_pair_size(key, value) -> int:
@@ -411,32 +416,54 @@ class JobRunner:
             )
             partitions[index].append((key, value))
 
-        reader = job.input_format.open_reader(self.fs, split, ctx)
+        # Install the operator profiler *before* opening the reader:
+        # ColumnReader caches ``ctx.profiler`` at construction time.
+        profiler = NULL_PROFILER
+        if ctx.obs.enabled:
+            profiler = OperatorProfiler(
+                "vectorized" if job.batch_op is not None else "scalar",
+                ctx.metrics,
+                meta={"job": job.name, "split": split.label},
+                clock=getattr(ctx.obs.tracer, "_clock", None) or _WALL_CLOCK,
+            ).install()
+            ctx.profiler = profiler
         try:
-            if job.batch_op is not None and hasattr(reader, "read_batch"):
-                from repro.core.vector import run_batch_map
+            reader = job.input_format.open_reader(self.fs, split, ctx)
+            try:
+                if job.batch_op is not None and hasattr(reader, "read_batch"):
+                    from repro.core.vector import run_batch_map
 
-                run_batch_map(job, reader, emit, ctx)
-            else:
-                for key, value in reader:
-                    job.cost.charge_map_invoke(ctx.metrics)
-                    job.mapper(key, value, emit, ctx)
+                    run_batch_map(job, reader, emit, ctx)
+                else:
+                    switch = profiler.switch
+                    for key, value in reader:
+                        job.cost.charge_map_invoke(ctx.metrics)
+                        # The scalar mapper is where lazy cells settle.
+                        switch("materialize")
+                        job.mapper(key, value, emit, ctx)
+                        switch("scan")
+            finally:
+                reader.close()
+
+            if job.combiner is not None and not job.is_map_only:
+                profiler.switch("aggregate")
+                partitions = [
+                    self._combine(job, ctx, partition)
+                    for partition in partitions
+                ]
+
+            # Spilling map output to local disk before the shuffle.
+            spill_bytes = sum(
+                estimate_pair_size(k, v) for p in partitions for k, v in p
+            )
+            if spill_bytes:
+                self.fs.cluster.disk.charge_write(ctx.metrics, spill_bytes)
+                ctx.obs.registry.counter("mr.spill.bytes").inc(spill_bytes)
+            return partitions
         finally:
-            reader.close()
-
-        if job.combiner is not None and not job.is_map_only:
-            partitions = [
-                self._combine(job, ctx, partition) for partition in partitions
-            ]
-
-        # Spilling map output to local disk before the shuffle.
-        spill_bytes = sum(
-            estimate_pair_size(k, v) for p in partitions for k, v in p
-        )
-        if spill_bytes:
-            self.fs.cluster.disk.charge_write(ctx.metrics, spill_bytes)
-            ctx.obs.registry.counter("mr.spill.bytes").inc(spill_bytes)
-        return partitions
+            # Always restore the vecdecode sink, even on a FaultError.
+            ctx.profiler = NULL_PROFILER
+            profiler.finish(ctx.obs)
 
     def _combine(
         self, job: Job, ctx: TaskContext, pairs: List[Tuple[object, object]]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.mapreduce.counters import Counters
-from repro.obs import Observability, current_obs
+from repro.obs import NULL_PROFILER, Observability, current_obs
 from repro.sim.cost import CpuCostModel
 from repro.sim.metrics import Metrics
 
@@ -54,6 +54,9 @@ class TaskContext:
         # recorder is active, so instrumented readers stay zero-cost.
         self.obs = obs if obs is not None else current_obs()
         self.counters = counters if counters is not None else Counters()
+        # Swapped for an OperatorProfiler while a scan is being
+        # profiled; readers attribute decoded/skipped cells through it.
+        self.profiler = NULL_PROFILER
 
     def charge_predicate(self, text) -> None:
         """Charge a string/bytes predicate evaluated in user map code."""

@@ -84,6 +84,20 @@ from repro.obs.alerts import (
 )
 from repro.obs.advisor import Recommendation, advise, column_layouts, infer_layouts
 from repro.obs.live import LiveMonitor
+from repro.obs.opprofile import (
+    NULL_PROFILER,
+    NullOperatorProfiler,
+    OperatorDiff,
+    OperatorProfiler,
+    OperatorStats,
+    OPS,
+    diff_operators,
+    fallback_totals,
+    kernel_call_totals,
+    operator_profiles,
+    reconcile_profiles,
+    render_operators,
+)
 from repro.obs.analysis import (
     CriticalPath,
     RunDiff,
@@ -167,6 +181,18 @@ __all__ = [
     "column_layouts",
     "infer_layouts",
     "LiveMonitor",
+    "NULL_PROFILER",
+    "NullOperatorProfiler",
+    "OperatorDiff",
+    "OperatorProfiler",
+    "OperatorStats",
+    "OPS",
+    "diff_operators",
+    "fallback_totals",
+    "kernel_call_totals",
+    "operator_profiles",
+    "reconcile_profiles",
+    "render_operators",
     "CriticalPath",
     "RunDiff",
     "SpanNode",

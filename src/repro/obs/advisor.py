@@ -228,3 +228,52 @@ def advise(
         ))
 
     return out
+
+
+#: Which operator's measured cost backs each rule's advice: projection
+#: waste is paid by the raw scan, skip/codec waste by the cells the
+#: settle stage actually decoded or hopped, locality by scan I/O.
+_ACTION_OPERATOR = {
+    "project-fewer-columns": "scan",
+    "enable-skip-lists": "materialize",
+    "switch-codec": "materialize",
+    "re-run-balancer": "scan",
+}
+
+
+def annotate_with_profiles(
+    recommendations: List[Recommendation], profiles: Dict[str, Dict[str, dict]]
+) -> List[Recommendation]:
+    """Cite measured per-operator cost on each recommendation.
+
+    ``profiles`` is the ``{engine: {op: totals}}`` mapping from
+    :func:`repro.obs.opprofile.operator_profiles`.  Each rule's
+    evidence gains the measured simulated time and cell counts of the
+    operator its advice targets (summed across engines), so ``repro
+    explain --analyze`` recommendations are backed by the profiled
+    scan, not only by heatmap counters.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for engine in sorted(profiles):
+        for op, totals in profiles[engine].items():
+            agg = merged.setdefault(
+                op, {"sim_time": 0.0, "cells_decoded": 0, "cells_skipped": 0}
+            )
+            agg["sim_time"] += totals.get("sim_time", 0.0)
+            agg["cells_decoded"] += totals.get("cells_decoded", 0)
+            agg["cells_skipped"] += totals.get("cells_skipped", 0)
+    for recommendation in recommendations:
+        op = _ACTION_OPERATOR.get(recommendation.action)
+        totals = merged.get(op)
+        if totals is None:
+            continue
+        recommendation.evidence[f"op.{op}.sim_time"] = round(
+            totals["sim_time"], 9
+        )
+        recommendation.evidence[f"op.{op}.cells_decoded"] = int(
+            totals["cells_decoded"]
+        )
+        recommendation.evidence[f"op.{op}.cells_skipped"] = int(
+            totals["cells_skipped"]
+        )
+    return recommendations

@@ -110,12 +110,23 @@ class SpanNode:
         """Children replayed on the simulated clock (explicit interval)."""
         return [
             c for c in self.children
-            if c.sim_start is not None and (c.sim_duration or 0.0) > 0.0
+            if c.kind != "operator"
+            and c.sim_start is not None and (c.sim_duration or 0.0) > 0.0
         ]
 
     def sequential_children(self) -> List["SpanNode"]:
-        """Nested ``with``-spans: they ran inline, one after another."""
-        return [c for c in self.children if c.sim_start is None]
+        """Nested ``with``-spans: they ran inline, one after another.
+
+        Operator-profile spans are annotations *within* a task's
+        already-counted time, not additional work — they are excluded
+        from the timing model entirely (here and in
+        :meth:`scheduled_children`/:meth:`sim_time`) so profiling a run
+        does not perturb its critical path or timeline.
+        """
+        return [
+            c for c in self.children
+            if c.kind != "operator" and c.sim_start is None
+        ]
 
     def sim_time(self) -> float:
         """The span's simulated wall extent.
@@ -135,6 +146,7 @@ class SpanNode:
             else:
                 self._sim_time = sum(
                     c.sim_time() for c in self.children
+                    if c.kind != "operator"
                 )
         return self._sim_time
 

@@ -78,7 +78,11 @@ def chrome_trace(report) -> dict:
     Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` ready
     for ``json.dump``; load the file in Perfetto or chrome://tracing.
     """
-    wall_spans = [s for s in report.spans if s.get("sim_start") is None]
+    op_spans = [s for s in report.spans if s.get("kind") == "operator"]
+    wall_spans = [
+        s for s in report.spans
+        if s.get("sim_start") is None and s.get("kind") != "operator"
+    ]
     sim_spans = [s for s in report.spans if s.get("sim_start") is not None]
     depths = _span_depths(report.spans)
     t0 = min((s["wall_start"] for s in wall_spans), default=0.0)
@@ -138,6 +142,30 @@ def chrome_trace(report) -> dict:
                 start + duration * _MICROS, "E", 0,
                 {k: base[k] for k in ("name", "cat", "pid", "tid")},
             )
+
+    # Operator-profile spans have a simulated *duration* but no start
+    # (they annotate time already inside a task span).  Give each
+    # engine its own lane and lay its operators out back-to-back in
+    # pipeline order, as "X" complete events, so relative operator
+    # cost is visible at a glance without perturbing the task lanes.
+    cursors: Dict[str, float] = {}
+    for span in op_spans:
+        attrs = span.get("attrs", {})
+        lane = f"operators:{attrs.get('engine', '?')}"
+        tid = lanes.setdefault(lane, len(lanes) + 1)
+        duration = (span.get("sim_duration") or 0.0) * _MICROS
+        start = cursors.get(lane, 0.0)
+        cursors[lane] = start + duration
+        args = dict(attrs)
+        args["span_id"] = span["id"]
+        add(start, "X", 0, {
+            "name": span["name"],
+            "cat": "operator",
+            "pid": SIM_PID,
+            "tid": tid,
+            "dur": duration,
+            "args": args,
+        })
 
     for record in getattr(report, "events", []):
         sim = record.get("sim")

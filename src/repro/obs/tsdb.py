@@ -308,6 +308,23 @@ class TimeSeriesStore:
             self.record_counter("cluster.mapoutputs.lost", t, 1.0)
         elif kind == "task.speculative":
             self.record_counter("cluster.tasks.speculative", t, 1.0)
+        elif kind == "operator.profile":
+            engine = attrs.get("engine", "none")
+            for op, stats in (attrs.get("ops") or {}).items():
+                self.record_counter(
+                    "cluster.operator.rows", t,
+                    float(stats.get("rows_out", 0)), engine=engine, op=op,
+                )
+                cells = stats.get("cells_decoded", 0)
+                if cells:
+                    self.record_counter(
+                        "cluster.operator.cells", t,
+                        float(cells), engine=engine, op=op,
+                    )
+                self.record_hist(
+                    "cluster.operator.sim_time", t,
+                    float(stats.get("sim_time", 0.0)), engine=engine, op=op,
+                )
 
     def _bump_running(self, tenant: Optional[str], delta: int, t: float):
         if tenant is None:

@@ -231,10 +231,20 @@ class Q:
             raise QueryError("nothing to compute: add select() or aggregate()")
 
         def mapper(key, record, emit, ctx):
-            if self._passes(record, ctx):
-                emit(None, tuple(
-                    expr.evaluate(record, ctx) for expr in selects.values()
-                ))
+            # Operator boundaries mirror run_batch_map's, so scalar and
+            # vectorized runs of the same query profile identically.
+            profiler = ctx.profiler
+            if self._filters:
+                profiler.switch("filter")
+                ok = self._passes(record, ctx)
+                profiler.add_rows("filter", 1, 1 if ok else 0)
+                if not ok:
+                    return
+            profiler.switch("materialize")
+            profiler.add_rows("materialize", 1, 1)
+            emit(None, tuple(
+                expr.evaluate(record, ctx) for expr in selects.values()
+            ))
 
         job = Job(f"query({self.dataset})", mapper, self._input_format(execution))
         if execution == "vectorized":
@@ -272,8 +282,17 @@ class Q:
             emit(group_key, partial)
 
         def mapper(key, record, emit, ctx):
-            if not self._passes(record, ctx):
-                return
+            # Same boundary discipline as the projection mapper: the
+            # vectorized engine runs partial_row under "materialize".
+            profiler = ctx.profiler
+            if self._filters:
+                profiler.switch("filter")
+                ok = self._passes(record, ctx)
+                profiler.add_rows("filter", 1, 1 if ok else 0)
+                if not ok:
+                    return
+            profiler.switch("materialize")
+            profiler.add_rows("materialize", 1, 1)
             partial_row(record, emit, ctx)
 
         def merge(key, values, emit, ctx):

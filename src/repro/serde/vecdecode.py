@@ -36,6 +36,40 @@ _PRIMITIVE_KINDS = frozenset(
     ("int", "long", "time", "double", "boolean", "string", "bytes")
 )
 
+#: Optional profiling sink (an ``obs.opprofile.OperatorProfiler``).
+#: ``None`` outside profiled scans, so the only hot-path overhead is
+#: one identity check per *batch* kernel call — the per-value fallback
+#: notes live inside the rare shortfall branches.
+_SINK = None
+
+
+def profile_sink():
+    """The currently-installed profiling sink (or None)."""
+    return _SINK
+
+
+def set_profile_sink(sink) -> None:
+    """Install (or with ``None`` clear) the kernel/fallback sink."""
+    global _SINK
+    _SINK = sink
+
+
+def _kernel(name: str) -> None:
+    if _SINK is not None:
+        _SINK.kernel(name)
+
+
+def _fallback(reader, method: str) -> None:
+    """Note one genuine window-shortfall delegation to the scalar path.
+
+    By-design per-value delegations (e.g. double/boolean map values in
+    :func:`read_maps`, which have no inline form) are deliberately NOT
+    counted — the ``vecdecode.fallback.*`` counters exist to flag
+    *silent loss* of a batched fast path, not its designed edges.
+    """
+    if _SINK is not None:
+        _SINK.fallback(reader, method)
+
 
 # ---------------------------------------------------------------------------
 # Batched primitive reads (value lists; caller applies the charges)
@@ -44,6 +78,7 @@ _PRIMITIVE_KINDS = frozenset(
 
 def read_zigzags(reader, k: int) -> list:
     """Decode ``k`` zig-zag varints; equivalent to k ``read_zigzag()``."""
+    _kernel("read_zigzags")
     out = []
     append = out.append
     buf, pos = reader._buf, reader.pos
@@ -66,6 +101,7 @@ def read_zigzags(reader, k: int) -> list:
             folded |= (b & 0x7F) << shift
             shift += 7
         else:
+            _fallback(reader, "varint")
             reader.pos = pos
             folded = reader.read_varint()
             buf, pos = reader._buf, reader.pos
@@ -77,6 +113,7 @@ def read_zigzags(reader, k: int) -> list:
 
 def read_chunks(reader, k: int) -> list:
     """Decode ``k`` length-prefixed byte chunks (string/bytes wire form)."""
+    _kernel("read_chunks")
     out = []
     append = out.append
     buf, pos = reader._buf, reader.pos
@@ -89,6 +126,7 @@ def read_chunks(reader, k: int) -> list:
             try:
                 n, pos = decode_varint(buf, pos)
             except VarintError:
+                _fallback(reader, "varint")
                 reader.pos = pos
                 n = reader.read_varint()
                 buf, pos = reader._buf, reader.pos
@@ -98,6 +136,7 @@ def read_chunks(reader, k: int) -> list:
             append(bytes(buf[pos:end]))
             pos = end
         else:
+            _fallback(reader, "bytes")
             reader.pos = pos
             append(reader.read_bytes(n))
             buf, pos = reader._buf, reader.pos
@@ -107,6 +146,7 @@ def read_chunks(reader, k: int) -> list:
 
 
 def read_doubles(reader, k: int) -> list:
+    _kernel("read_doubles")
     out = []
     append = out.append
     unpack = _DOUBLE.unpack_from
@@ -117,6 +157,7 @@ def read_doubles(reader, k: int) -> list:
             append(unpack(buf, pos)[0])
             pos += 8
         else:
+            _fallback(reader, "double")
             reader.pos = pos
             append(reader.read_double())
             buf, pos = reader._buf, reader.pos
@@ -126,6 +167,7 @@ def read_doubles(reader, k: int) -> list:
 
 
 def read_booleans(reader, k: int) -> list:
+    _kernel("read_booleans")
     out = []
     append = out.append
     buf, pos = reader._buf, reader.pos
@@ -135,6 +177,7 @@ def read_booleans(reader, k: int) -> list:
             append(buf[pos] != 0)
             pos += 1
         else:
+            _fallback(reader, "byte")
             reader.pos = pos
             append(reader.read_byte() != 0)
             buf, pos = reader._buf, reader.pos
@@ -149,6 +192,7 @@ def _read_varint(reader):
         value, reader.pos = decode_varint(reader._buf, reader.pos)
         return value
     except VarintError:
+        _fallback(reader, "varint")
         return reader.read_varint()
 
 
@@ -159,6 +203,7 @@ def _hop(reader, n: int) -> None:
     if end <= len(reader._buf):
         reader.pos = end
     else:
+        _fallback(reader, "skip")
         reader.skip(n)
 
 
@@ -181,6 +226,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
     ``read_datum`` calls (map container + per-entry key string +
     per-entry value + raw scan of the full span).
     """
+    _kernel("read_maps")
     value_kind = field_schema.values.kind
     ints = value_kind in _INTEGER_KINDS
     profile = cost.profile
@@ -201,6 +247,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
             try:
                 count, pos = decode_varint(buf, pos)
             except VarintError:
+                _fallback(reader, "varint")
                 reader.pos = pos
                 count = reader.read_varint()
                 buf, pos = reader._buf, reader.pos
@@ -215,6 +262,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                 try:
                     klen, pos = decode_varint(buf, pos)
                 except VarintError:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     klen = reader.read_varint()
                     buf, pos = reader._buf, reader.pos
@@ -224,6 +272,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                 raw_key = bytes(buf[pos:end])
                 pos = end
             else:
+                _fallback(reader, "bytes")
                 reader.pos = pos
                 raw_key = reader.read_bytes(klen)
                 buf, pos = reader._buf, reader.pos
@@ -243,6 +292,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                     folded |= (b & 0x7F) << shift
                     shift += 7
                 else:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     folded = reader.read_varint()
                     buf, pos = reader._buf, reader.pos
@@ -251,6 +301,8 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                     -((folded + 1) >> 1) if folded & 1 else folded >> 1
                 )
             elif value_kind == "double":
+                # Always delegated by design (no inline double form in
+                # the map walk) — deliberately not a counted fallback.
                 reader.pos = pos
                 value = reader.read_double()
                 buf, pos = reader._buf, reader.pos
@@ -264,6 +316,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                 try:
                     vlen, pos = decode_varint(buf, pos)
                 except VarintError:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     vlen = reader.read_varint()
                     buf, pos = reader._buf, reader.pos
@@ -273,6 +326,7 @@ def read_maps(reader, field_schema, k: int, cost, metrics) -> list:
                     raw = bytes(buf[pos:end])
                     pos = end
                 else:
+                    _fallback(reader, "bytes")
                     reader.pos = pos
                     raw = reader.read_bytes(vlen)
                     buf, pos = reader._buf, reader.pos
@@ -348,6 +402,7 @@ def _hop_varints(reader, k: int) -> None:
                 break
             p += 1
         else:
+            _fallback(reader, "varint")
             reader.pos = pos
             reader.read_varint()
             buf, pos = reader._buf, reader.pos
@@ -386,6 +441,7 @@ def _skip_prims(reader, kind: str, k: int, profile):
             try:
                 n, pos = decode_varint(buf, pos)
             except VarintError:
+                _fallback(reader, "varint")
                 reader.pos = pos
                 n = reader.read_varint()
                 buf, pos = reader._buf, reader.pos
@@ -394,6 +450,7 @@ def _skip_prims(reader, kind: str, k: int, profile):
         if end <= limit:
             pos = end
         else:
+            _fallback(reader, "skip")
             reader.pos = pos
             reader.skip(n)
             buf, pos = reader._buf, reader.pos
@@ -435,6 +492,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
             try:
                 count, pos = decode_varint(buf, pos)
             except VarintError:
+                _fallback(reader, "varint")
                 reader.pos = pos
                 count = reader.read_varint()
                 buf, pos = reader._buf, reader.pos
@@ -449,6 +507,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                 try:
                     klen, pos = decode_varint(buf, pos)
                 except VarintError:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     klen = reader.read_varint()
                     buf, pos = reader._buf, reader.pos
@@ -459,6 +518,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                 if end <= limit:
                     pos = end
                 else:
+                    _fallback(reader, "skip")
                     reader.pos = pos
                     reader.skip(klen)
                     buf, pos = reader._buf, reader.pos
@@ -473,6 +533,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                         break
                     p += 1
                 else:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     before = reader.offset
                     reader.read_varint()
@@ -485,6 +546,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                 if end <= limit:
                     pos = end
                 else:
+                    _fallback(reader, "skip")
                     reader.pos = pos
                     reader.skip(fixed)
                     buf, pos = reader._buf, reader.pos
@@ -493,6 +555,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                 try:
                     vlen, pos = decode_varint(buf, pos)
                 except VarintError:
+                    _fallback(reader, "varint")
                     reader.pos = pos
                     vlen = reader.read_varint()
                     buf, pos = reader._buf, reader.pos
@@ -502,6 +565,7 @@ def _walk_maps(reader, value_kind: str, k: int, coded_keys: bool):
                 if end <= limit:
                     pos = end
                 else:
+                    _fallback(reader, "skip")
                     reader.pos = pos
                     reader.skip(vlen)
                     buf, pos = reader._buf, reader.pos
@@ -539,6 +603,7 @@ def skip_batch(reader, field_schema, k: int, cost, metrics) -> bool:
     per-value walk."""
     if not skip_batch_supported(field_schema):
         return False
+    _kernel("skip_batch")
     kind = field_schema.kind
     profile = cost.profile
     start = reader.offset
@@ -583,6 +648,7 @@ def skip_dcsl_batch(reader, values_schema, k: int, cost, metrics) -> bool:
     value_kind = values_schema.kind
     if value_kind not in _PRIMITIVE_KINDS:
         return False
+    _kernel("skip_dcsl_batch")
     profile = cost.profile
     start = reader.offset
     entries_total, _, value_span = _walk_maps(

@@ -82,7 +82,9 @@ class ByteWriter:
 class ByteReader:
     """A positioned reader over an immutable byte buffer."""
 
-    __slots__ = ("_buf", "pos")
+    # _vec_owner: the ColumnReader class name stamped by columnio, so
+    # vecdecode fallback counters can be labeled by reader type.
+    __slots__ = ("_buf", "pos", "_vec_owner")
 
     def __init__(self, data, pos: int = 0) -> None:
         self._buf = data
